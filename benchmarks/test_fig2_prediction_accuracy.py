@@ -1,0 +1,21 @@
+"""Figure 2 — MEA vs FC next-interval prediction accuracy.
+
+Paper shape: despite *worse counting*, MEA predicts the next interval's
+hot pages *better* than Full Counters on average (the paper reports
++16 % / +81 % / +68 % across the three tiers; our synthetic traces
+reproduce the sign on every tier with smaller magnitudes — see
+EXPERIMENTS.md).
+"""
+
+from conftest import emit
+
+
+def test_fig2_prediction_accuracy(benchmark, config, oracle_figures, results_dir):
+    figures = benchmark.pedantic(lambda: oracle_figures, rounds=1, iterations=1)
+    emit(results_dir, "fig2_prediction_accuracy", figures.format_fig2())
+
+    avg = figures.avg_all
+    # The headline result: MEA out-predicts FC on the top tier...
+    assert avg.mea_future_hits[0] > avg.fc_future_hits[0]
+    # ...and overall across the three tiers combined.
+    assert sum(avg.mea_future_hits) > sum(avg.fc_future_hits)

@@ -1,0 +1,42 @@
+"""Figure 3 — prediction accuracy for the paper's selected workloads.
+
+Paper shapes per workload:
+
+* **cactus** — the outlier where FC out-predicts MEA in every tier
+  (stable skew rewards exact counting);
+* **xalanc** — "most representative": MEA beats FC across the tiers;
+* **bwaves / libquantum** — FC scores (near-)zero future hits; MEA is
+  very low but can be non-zero;
+* **lbm** — FC fails entirely while MEA reports hits, concentrated
+  outside the first tier.
+"""
+
+from conftest import emit
+
+
+def test_fig3_prediction_selected(benchmark, config, oracle_figures, results_dir):
+    figures = benchmark.pedantic(lambda: oracle_figures, rounds=1, iterations=1)
+    emit(results_dir, "fig3_prediction_selected", figures.format_fig3())
+
+    per = figures.per_workload
+
+    if "cactus" in per:
+        cactus = per["cactus"]
+        assert all(
+            cactus.fc_future_hits[t] >= cactus.mea_future_hits[t] for t in range(3)
+        ), "cactus should be the FC-wins outlier"
+
+    if "xalanc" in per:
+        xalanc = per["xalanc"]
+        assert sum(xalanc.mea_future_hits) > sum(xalanc.fc_future_hits)
+
+    if "bwaves" in per:
+        bwaves = per["bwaves"]
+        assert sum(bwaves.fc_future_hits) <= 0.5, "FC should fail on streams"
+
+    if "lbm" in per:
+        lbm = per["lbm"]
+        # FC fails on the first tier (its top-counted pages are the
+        # finished ones) while MEA scores more overall.
+        assert lbm.fc_future_hits[0] <= 0.5, "FC should fail lbm's first tier"
+        assert sum(lbm.mea_future_hits) > sum(lbm.fc_future_hits)

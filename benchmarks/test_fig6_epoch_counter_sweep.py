@@ -1,0 +1,37 @@
+"""Figure 6 — AMMAT over the (epoch length x MEA counter count) grid.
+
+Paper shape: the best cell sits at (50 us, 64 counters); low-AMMAT
+cells lie along the constant-migration-rate diagonal; many counters
+with short epochs beats few counters with long epochs.
+
+The sweep multiplies configurations by workloads, so it runs on the
+representative workload subset (override with ``REPRO_WORKLOADS``).
+"""
+
+from conftest import emit
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_epoch_counter_sweep(benchmark, config, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig6(config), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig6_epoch_counter_sweep", result.format_table())
+
+    cells = result.ammat_ns
+    best_epoch, best_counters = result.best_cell()
+
+    # The paper's optimum: short epochs with a healthy counter file.
+    # The top cells differ by well under 1 % here (as in the paper,
+    # "the differences are small"), so only the coarse position is
+    # asserted: short epochs, and clearly more than the minimum
+    # counter budget.
+    assert best_epoch <= 100, f"best epoch {best_epoch} us; paper: 50 us"
+    assert best_counters >= 32, f"best counters {best_counters}; paper: 64"
+
+    # Many counters + short epochs beats few counters + long epochs
+    # (the paper's final Figure 6 observation).
+    aggressive = cells[(min(result.epochs_us), max(result.counters))]
+    sluggish = cells[(max(result.epochs_us), min(result.counters))]
+    assert aggressive < sluggish

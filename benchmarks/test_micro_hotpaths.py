@@ -1,0 +1,80 @@
+"""Microbenchmarks of the simulator's hot paths (pytest-benchmark).
+
+These time the structures every experiment leans on — MEA updates, the
+channel-controller service loop, trace generation, and the end-to-end
+replay — so performance regressions in the substrate are visible
+without running a full figure.
+"""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.dram import HBM_TIMING
+from repro.dram.controller import ChannelController
+from repro.geometry import scaled_geometry
+from repro.system.simulator import build_manager, simulate
+from repro.trace import build_trace, get_workload
+from repro.tracking.mea import MeaTracker
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return scaled_geometry(32)
+
+
+@pytest.fixture(scope="module")
+def small_trace(geometry):
+    return build_trace(get_workload("xalanc"), geometry, length=20_000, seed=11).trace
+
+
+def test_mea_record_throughput(benchmark):
+    rng = DeterministicRng(3)
+    pages = [rng.zipf_index(4000, 1.1) for _ in range(50_000)]
+    mea = MeaTracker(capacity=64, counter_bits=2)
+
+    def record_all():
+        mea.reset()
+        for page in pages:
+            mea.record(page)
+
+    benchmark(record_all)
+
+
+def test_controller_service_throughput(benchmark):
+    rng = DeterministicRng(4)
+    requests = [
+        (rng.randrange(16), rng.randrange(64), rng.random() < 0.3, i * 9_000)
+        for i in range(20_000)
+    ]
+
+    def replay():
+        ctrl = ChannelController(HBM_TIMING, 16, window=8)
+        for bank, row, is_write, at in requests:
+            ctrl.enqueue(bank, row, is_write, at)
+        ctrl.flush()
+
+    benchmark(replay)
+
+
+def test_trace_generation_throughput(benchmark, geometry):
+    benchmark.pedantic(
+        lambda: build_trace(get_workload("mix8"), geometry, length=20_000, seed=5),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_tlm_replay_throughput(benchmark, geometry, small_trace):
+    benchmark.pedantic(
+        lambda: simulate(small_trace, build_manager("tlm", geometry)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_mempod_replay_throughput(benchmark, geometry, small_trace):
+    benchmark.pedantic(
+        lambda: simulate(small_trace, build_manager("mempod", geometry)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""Table 1 — building-block cost breakdown, computed at paper scale.
+
+Checks the storage-cost headlines: MemPod's MEA unit costs 736 B total
+(the paper's 4 pods x 64 x 23 bits) — ~12,800x below HMA's 9 MB of full
+counters and ~712x below THM's 512 kB of competing counters.
+"""
+
+from conftest import emit
+
+from repro.experiments import compute_table1, format_table1, tracking_reduction_vs_hma
+
+
+def test_table1_costs(benchmark, results_dir):
+    rows = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    emit(results_dir, "table1_costs", format_table1(rows))
+
+    by_name = {row.mechanism: row for row in rows}
+
+    # MEA: 736 bytes across the four pods, exactly as the paper sizes it.
+    assert by_name["MemPod"].tracking_bytes == 736
+
+    # HMA: 16-bit counter per page of the 9 GB space = 9 MB.
+    assert by_name["HMA"].tracking_bytes == 9 * 1024 * 1024
+    assert by_name["HMA"].remap_bytes == 0  # the OS owns translation
+
+    # THM: 8-bit competing counter per fast page = 512 kB.
+    assert by_name["THM"].tracking_bytes == 512 * 1024
+
+    # CAMEO: no activity tracking at all (event-triggered).
+    assert by_name["CAMEO"].tracking_bytes == 0
+
+    # Headline reduction factors.
+    assert 12000 < tracking_reduction_vs_hma(rows) < 13500
+    assert by_name["THM"].tracking_bytes / by_name["MemPod"].tracking_bytes > 700

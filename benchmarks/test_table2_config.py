@@ -1,0 +1,28 @@
+"""Table 2 — the simulated machine configuration.
+
+The table is echoed from the live timing presets and geometry, so this
+bench asserts the values the paper's Table 2 specifies.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table2, table2_entries
+
+
+def test_table2_config(benchmark, results_dir):
+    entries = benchmark.pedantic(table2_entries, rounds=1, iterations=1)
+    emit(results_dir, "table2_config", format_table2())
+
+    hbm = entries["HBM"]
+    assert hbm["Capacity"] == "1 GB"
+    assert hbm["Bus Frequency"] == "1 GHz"
+    assert hbm["Bus Width (bits)"] == "128"
+    assert hbm["Channels"] == "8"
+    assert hbm["Banks"] == "16"
+    assert hbm["Row Buffer Size"] == "8 kB"
+    assert hbm["tCAS-tRCD-tRP-tRAS"] == "7-7-7-17"
+
+    ddr = entries["DDR4-1600"]
+    assert ddr["Capacity"] == "8 GB"
+    assert ddr["Channels"] == "4"
+    assert ddr["tCAS-tRCD-tRP-tRAS"] == "11-11-11-28"

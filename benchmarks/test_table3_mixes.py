@@ -1,0 +1,28 @@
+"""Table 3 — mixed workload composition.
+
+Asserts the roster invariants: 12 mixes, each normalised to 8 cores,
+every member a known benchmark, and the paper's marquee memberships.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table3
+from repro.trace import MIX_MEMBERS, MIX_NAMES, benchmark_names, get_workload
+
+
+def test_table3_mixes(benchmark, results_dir):
+    text = benchmark.pedantic(format_table3, rounds=1, iterations=1)
+    emit(results_dir, "table3_mixes", text)
+
+    assert len(MIX_NAMES) == 12
+    known = set(benchmark_names())
+    for mix in MIX_NAMES:
+        spec = get_workload(mix)
+        assert spec.cores == 8
+        assert set(spec.benchmark_names) <= known
+        assert set(MIX_MEMBERS[mix]) <= known
+
+    # Spot-check Table 3 memberships used elsewhere in the paper.
+    assert "xalanc" in MIX_MEMBERS["mix9"]  # mix9 is a Figure 3 subject
+    assert "bwaves" in MIX_MEMBERS["mix9"]
+    assert MIX_MEMBERS["mix10"].count("libquantum") == 2  # double copy

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mechanism behaviour under growing capacity pressure.
+
+Sweeps a workload's footprint from "fits in fast memory" to "8x fast
+memory" and compares MemPod, THM and CAMEO against the no-migration
+baseline at each point.  This is the paper's Section 2 argument made
+runnable: segment/group-restricted mechanisms (THM, CAMEO) lose their
+effectiveness as more hot lines compete for each fast slot, while
+MemPod's intra-pod any-to-any flexibility degrades gracefully.
+
+Run:  python examples/capacity_pressure.py
+"""
+
+from repro import DeterministicRng, run, scaled_geometry
+from repro.trace import LINE_BYTES, Trace, ZipfPattern
+from repro.trace.interleave import PagePlacer
+
+
+def build_pressure_trace(geometry, footprint_fraction: float, length: int = 120_000):
+    """An 8-core Zipf workload with the given footprint / fast-capacity ratio."""
+    per_core = max(64, round(geometry.fast_pages * footprint_fraction / 8))
+    rng = DeterministicRng(7, f"pressure-{footprint_fraction}")
+    placer = PagePlacer(geometry, "spread", rng.child("placement"))
+    patterns = [ZipfPattern(per_core, alpha=1.1) for _ in range(8)]
+    core_rngs = [rng.child(f"core{i}") for i in range(8)]
+
+    records = []
+    now_ps = 0
+    for i in range(length):
+        core = i % 8
+        vpage, line, is_write = patterns[core].next_access(core_rngs[core])
+        page = placer.place(core, vpage)
+        records.append((now_ps, page * geometry.page_bytes + line * LINE_BYTES, int(is_write), core))
+        now_ps += 9_000
+    return Trace(name=f"pressure-{footprint_fraction:g}x", records=records)
+
+
+def main() -> None:
+    geometry = scaled_geometry(32)
+    print("Normalised AMMAT vs footprint pressure (fraction of fast capacity):")
+    print(f"{'footprint':>9} {'mempod':>8} {'thm':>8} {'cameo':>8}")
+    for fraction in (0.5, 1.0, 2.0, 4.0, 8.0):
+        trace = build_pressure_trace(geometry, fraction)
+        baseline = run(trace, "tlm", geometry)
+        row = []
+        for mechanism in ("mempod", "thm", "cameo"):
+            result = run(trace, mechanism, geometry)
+            row.append(result.normalized_to(baseline))
+        print(f"{fraction:>8.1f}x {row[0]:>8.2f} {row[1]:>8.2f} {row[2]:>8.2f}")
+    print()
+    print("Below 1.0 the mechanism beats the no-migration baseline.  MemPod's")
+    print("intra-pod any-to-any placement stays ahead and degrades most")
+    print("gracefully; THM and CAMEO lose ground faster as more hot data")
+    print("contends for each segment's (or congruence group's) single fast")
+    print("slot — the paper's Section 2 argument.  CAMEO's full collapse")
+    print("(Figure 8's streaming workloads) needs line-level conflict rates")
+    print("that only near-capacity footprints produce.")
+
+
+if __name__ == "__main__":
+    main()

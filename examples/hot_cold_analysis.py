@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""MEA vs Full Counters on a custom workload (the Section 3 study).
+
+Builds a workload whose hot set *rotates* — the regime the paper shows
+MEA excels in — and an otherwise-identical one whose hot set is frozen,
+then runs the offline oracle study on both.  The output reproduces the
+paper's core insight: exact counting wins when the ranking is stable,
+recency wins when it churns.
+
+Run:  python examples/hot_cold_analysis.py
+"""
+
+from repro import DeterministicRng, run_oracle_study
+from repro.trace import HotColdPattern, LINE_BYTES
+from repro.trace.record import Trace
+
+
+def synthesize(rotating: bool, accesses: int = 120_000) -> Trace:
+    """A single-core hot/cold trace with or without rank rotation."""
+    # The hot set must exceed the 128-counter tracking budget, or both
+    # schemes trivially nominate every hot page and tie at 10/10.
+    pattern = HotColdPattern(
+        footprint_pages=8_000,
+        hot_pages=600,
+        hot_fraction=0.92,
+        hot_alpha=1.15,
+        rotate_period=250 if rotating else 0,
+        rotate_step=12 if rotating else 0,
+    )
+    rng = DeterministicRng(42, "hot-cold-example")
+    records = []
+    now_ps = 0
+    for _ in range(accesses):
+        page, line, is_write = pattern.next_access(rng)
+        records.append((now_ps, page * 2048 + line * LINE_BYTES, int(is_write), 0))
+        now_ps += 9_000  # ~one request per 9 ns
+    return Trace(name="rotating" if rotating else "stable", records=records)
+
+
+def report(trace: Trace) -> None:
+    result = run_oracle_study(trace.page_sequence(), workload=trace.name)
+    print(f"\n{trace.name} hot set ({result.intervals} intervals):")
+    print(f"  {'tier':<12} {'MEA hits':>9} {'FC hits':>9} {'winner':>8}")
+    for tier, label in enumerate(("ranks 1-10", "ranks 11-20", "ranks 21-30")):
+        mea = result.mea_future_hits[tier]
+        fc = result.fc_future_hits[tier]
+        winner = "MEA" if mea > fc else ("FC" if fc > mea else "tie")
+        print(f"  {label:<12} {mea:>9.2f} {fc:>9.2f} {winner:>8}")
+
+
+def main() -> None:
+    print("Predicting next-interval hot pages: MEA (64 counters' worth of")
+    print("state) against one exact counter per page, graded by an oracle.")
+    report(synthesize(rotating=False))
+    report(synthesize(rotating=True))
+    print()
+    print("Stable ranking rewards exact counting; a rotating ranking defeats")
+    print("it — whole-interval totals describe where the heat *was* — while")
+    print("MEA's recency bias tracks where it is *now*.")
+
+
+if __name__ == "__main__":
+    main()

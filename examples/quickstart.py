@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: compare MemPod against the no-migration baseline.
+
+Builds a Python-scale version of the paper's machine (1/32 capacity,
+same shape: 8 HBM channels + 4 DDR4 channels, 2 KB pages, 4 pods),
+generates the ``xalanc`` 8-core workload, and replays it through three
+configurations:
+
+* ``tlm``      — the flat two-level memory with no migration,
+* ``mempod``   — the paper's clustered MEA-driven migration manager,
+* ``hbm-only`` — the all-fast upper bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_trace, get_workload, run, scaled_geometry
+
+
+def main() -> None:
+    geometry = scaled_geometry(32)
+    print(
+        f"machine: {geometry.fast_bytes >> 20} MB fast + "
+        f"{geometry.slow_bytes >> 20} MB slow, {geometry.pods} pods"
+    )
+
+    build = build_trace(get_workload("xalanc"), geometry, length=150_000, seed=1)
+    trace = build.trace
+    print(
+        f"trace:   {len(trace):,} requests over {trace.duration_ps / 1e6:.0f} us, "
+        f"{build.fast_resident_fraction:.0%} of pages start in fast memory"
+    )
+
+    baseline = run(trace, "tlm", geometry)
+    mempod = run(trace, "mempod", geometry)
+    upper = run(trace, "hbm-only", geometry)
+
+    print()
+    print(f"{'configuration':<12} {'AMMAT':>10} {'vs TLM':>8} {'fast hits':>10} {'migrations':>11}")
+    for result in (baseline, mempod, upper):
+        print(
+            f"{result.manager:<12} {result.ammat_ns:>8.1f}ns "
+            f"{result.normalized_to(baseline):>8.2f} "
+            f"{result.fast_service_fraction:>9.0%} "
+            f"{result.migrations:>11,}"
+        )
+
+    saved = 1.0 - mempod.normalized_to(baseline)
+    print()
+    print(f"MemPod changes AMMAT by {-saved:+.1%} relative to the no-migration baseline")
+    print(f"(the HBM-only bound is {1.0 - upper.normalized_to(baseline):.1%} better).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main entry points without writing Python:
+
+* ``repro list``                      — workloads and mechanisms
+* ``repro profile WORKLOAD...``       — characterise workload traces
+* ``repro run WORKLOAD``              — one comparison on one workload
+* ``repro fig1|fig2|fig3|fig6|fig7|fig8|fig9|fig10|table1|table2|table3``
+                                      — regenerate a paper artefact
+* ``repro energy WORKLOAD``           — the Section 5.3 energy view
+
+Sizing flags (``--scale/--length/--seed/--workloads``) mirror the
+``REPRO_*`` environment variables used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments import (
+    ExperimentConfig,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_comparison,
+    run_fig10,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_oracle_figures,
+    trace_for,
+)
+from .system.energy import report_for
+from .system.simulator import MANAGER_KINDS, build_manager, simulate
+from .trace.analysis import compare_profiles, profile_trace
+from .trace.workloads import workload_names
+
+ARTEFACTS = (
+    "fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "table1", "table2", "table3",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MemPod (HPCA 2017) reproduction toolkit",
+    )
+    parser.add_argument("--scale", type=int, default=32,
+                        help="capacity divisor vs the paper machine (default 32)")
+    parser.add_argument("--length", type=int, default=250_000,
+                        help="trace length in requests (default 250000)")
+    parser.add_argument("--seed", type=int, default=1, help="root seed")
+    parser.add_argument("--workloads", default="",
+                        help="comma-separated workload subset (default: all)")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and mechanisms")
+
+    profile = sub.add_parser("profile", help="characterise workload traces")
+    profile.add_argument("names", nargs="+", help="workload names")
+
+    run_cmd = sub.add_parser("run", help="compare mechanisms on one workload")
+    run_cmd.add_argument("name", help="workload name")
+    run_cmd.add_argument(
+        "--mechanisms", default="tlm,mempod,thm,cameo,hbm-only",
+        help="comma-separated mechanism list",
+    )
+
+    energy = sub.add_parser("energy", help="energy comparison on one workload")
+    energy.add_argument("name", help="workload name")
+
+    for artefact in ARTEFACTS:
+        sub.add_parser(artefact, help=f"regenerate the paper's {artefact}")
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    subset = tuple(n.strip() for n in args.workloads.split(",") if n.strip())
+    return ExperimentConfig(
+        scale=args.scale, length=args.length, seed=args.seed, workloads=subset
+    )
+
+
+def _cmd_list() -> str:
+    lines = ["workloads:"]
+    names = workload_names()
+    lines.append("  homogeneous: " + ", ".join(names[:15]))
+    lines.append("  mixed:       " + ", ".join(names[15:]))
+    lines.append("mechanisms:   " + ", ".join(MANAGER_KINDS))
+    lines.append("artefacts:    " + ", ".join(ARTEFACTS))
+    return "\n".join(lines)
+
+
+def _cmd_profile(config: ExperimentConfig, names: Sequence[str]) -> str:
+    profiles = [profile_trace(trace_for(config, name)) for name in names]
+    return compare_profiles(profiles)
+
+
+def _cmd_run(config: ExperimentConfig, name: str, mechanisms: Sequence[str]) -> str:
+    geometry = config.geometry
+    trace = trace_for(config, name)
+    lines = [f"{'mechanism':<10} {'AMMAT':>10} {'vs tlm':>8} {'fast':>6} {'migrations':>11}"]
+    baseline_ns: Optional[float] = None
+    for mechanism in mechanisms:
+        params = config.hma_params() if mechanism == "hma" else {}
+        manager = build_manager(mechanism, geometry, **params)
+        result = simulate(trace, manager)
+        if baseline_ns is None:
+            baseline_ns = result.ammat_ns
+        lines.append(
+            f"{mechanism:<10} {result.ammat_ns:>8.1f}ns "
+            f"{result.ammat_ns / baseline_ns:>8.2f} "
+            f"{result.fast_service_fraction:>6.0%} {result.migrations:>11,}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_energy(config: ExperimentConfig, name: str) -> str:
+    geometry = config.geometry
+    trace = trace_for(config, name)
+    lines = [f"{'mechanism':<10} {'demand uJ':>10} {'migr uJ':>9} {'interconnect uJ':>16} {'total uJ':>9}"]
+    for mechanism in ("mempod", "thm", "cameo"):
+        manager = build_manager(mechanism, geometry)
+        simulate(trace, manager)
+        report = report_for(manager)
+        lines.append(
+            f"{mechanism:<10} {report.demand_uj:>10.1f} "
+            f"{report.migration_memory_uj:>9.1f} "
+            f"{report.migration_interconnect_uj:>16.2f} {report.total_uj:>9.1f}"
+        )
+    lines.append(
+        "(pod-local migration pays the cheap on-package hop; centralised "
+        "mechanisms cross the global switch — paper Section 5.3)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_artefact(config: ExperimentConfig, artefact: str) -> str:
+    if artefact in ("fig1", "fig2", "fig3"):
+        figures = run_oracle_figures(config)
+        return {
+            "fig1": figures.format_fig1,
+            "fig2": figures.format_fig2,
+            "fig3": figures.format_fig3,
+        }[artefact]()
+    if artefact == "fig6":
+        return run_fig6(config).format_table()
+    if artefact == "fig7":
+        a = run_fig7(config, epoch_us=50, counters=64)
+        b = run_fig7(config, epoch_us=100, counters=128)
+        return a.format_table() + "\n\n" + b.format_table()
+    if artefact == "fig8":
+        result = run_comparison(config)
+        return result.format_table() + "\n\n" + result.format_traffic()
+    if artefact == "fig9":
+        return run_fig9(config).format_table()
+    if artefact == "fig10":
+        return run_fig10(config).format_table()
+    if artefact == "table1":
+        return format_table1()
+    if artefact == "table2":
+        return format_table2()
+    return format_table3()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    config = _config(args)
+
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "profile":
+        print(_cmd_profile(config, args.names))
+    elif args.command == "run":
+        mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
+        print(_cmd_run(config, args.name, mechanisms))
+    elif args.command == "energy":
+        print(_cmd_energy(config, args.name))
+    else:
+        print(_cmd_artefact(config, args.command))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

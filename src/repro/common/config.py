@@ -1,0 +1,61 @@
+"""Configuration validation helpers.
+
+Config dataclasses throughout the library validate themselves in
+``__post_init__`` with the checkers below.  Centralising the checks
+keeps error messages uniform ("<field> must be ..., got ...") and makes
+the validation rules greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import ConfigError
+from .units import is_power_of_two
+
+
+def require_positive(name: str, value: Any) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a positive number."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise ConfigError(f"{name} must be a positive number, got {value!r}")
+
+
+def require_positive_int(name: str, value: Any) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+
+
+def require_non_negative_int(name: str, value: Any) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is an integer >= 0."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigError(f"{name} must be a non-negative integer, got {value!r}")
+
+
+def require_power_of_two(name: str, value: Any) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a power-of-two int."""
+    require_positive_int(name, value)
+    if not is_power_of_two(value):
+        raise ConfigError(f"{name} must be a power of two, got {value!r}")
+
+
+def require_fraction(name: str, value: Any) -> None:
+    """Raise :class:`ConfigError` unless ``value`` lies in [0, 1]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be a number in [0, 1], got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def require_multiple(name: str, value: int, of_name: str, of_value: int) -> None:
+    """Raise :class:`ConfigError` unless ``value`` divides evenly by ``of_value``."""
+    if of_value == 0 or value % of_value != 0:
+        raise ConfigError(
+            f"{name} ({value!r}) must be a multiple of {of_name} ({of_value!r})"
+        )
+
+
+def require_in(name: str, value: Any, allowed: tuple) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {allowed!r}, got {value!r}")

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the MemPod reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library signals with a single ``except`` clause while
+still being able to discriminate configuration problems from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent.
+
+    Raised eagerly at construction time (never mid-simulation) so that a
+    bad parameter sweep fails before any cycles are spent.
+    """
+
+
+class AddressError(ReproError):
+    """An address falls outside the simulated physical address space."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state.
+
+    This always indicates a library bug, not a user mistake; the message
+    includes enough state to reproduce the failure.
+    """
+
+
+class MigrationError(SimulationError):
+    """A migration request violated remap-table or datapath invariants."""

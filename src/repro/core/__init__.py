@@ -1,0 +1,22 @@
+"""MemPod core: pods, remap tables, the clustered manager, datapath."""
+
+from .datapath import MigrationEngine, MigrationStats
+from .mempod import (
+    DEFAULT_COUNTER_BITS,
+    DEFAULT_INTERVAL_PS,
+    DEFAULT_MEA_COUNTERS,
+    MemPodManager,
+)
+from .pod import Pod
+from .remap import RemapTable
+
+__all__ = [
+    "DEFAULT_COUNTER_BITS",
+    "DEFAULT_INTERVAL_PS",
+    "DEFAULT_MEA_COUNTERS",
+    "MemPodManager",
+    "MigrationEngine",
+    "MigrationStats",
+    "Pod",
+    "RemapTable",
+]

@@ -1,0 +1,118 @@
+"""One memory Pod (paper Figure 5).
+
+A Pod clusters a few memory controllers and owns every migration
+decision for the pages behind them: it tracks activity with its own MEA
+unit, translates addresses through its own remap table, and drives the
+swap datapath over its member channels.  Pods never communicate — the
+MemPod manager (:mod:`repro.core.mempod`) just fans requests out to the
+owning Pod and ticks all Pods at interval boundaries.
+
+The eviction scan implements the paper's candidate-identification
+algorithm verbatim: walk the Pod's fast-page slots sequentially
+(resuming where the previous migration left off), skip any frame whose
+resident page is currently hot, and wrap at most once per search.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..geometry import MemoryGeometry
+from ..tracking.mea import MeaTracker
+from .datapath import MigrationEngine
+from .remap import RemapTable
+
+
+class Pod:
+    """Activity tracking, remap state, and migration driver for one pod."""
+
+    def __init__(
+        self,
+        pod_id: int,
+        geometry: MemoryGeometry,
+        engine: MigrationEngine,
+        mea_counters: int = 64,
+        mea_counter_bits: int = 2,
+        mea_min_count: int = 2,
+    ) -> None:
+        self.pod_id = pod_id
+        self.geometry = geometry
+        self.engine = engine
+        tag_bits = max(1, (geometry.pages_per_pod - 1).bit_length())
+        self.mea = MeaTracker(
+            capacity=mea_counters,
+            counter_bits=mea_counter_bits,
+            tag_bits=tag_bits,
+            min_count=min(mea_min_count, (1 << mea_counter_bits) - 1),
+        )
+        self.remap = RemapTable()
+        self._scan_slot = 0
+        self.migrations = 0
+        self.intervals = 0
+
+    # -- request path ------------------------------------------------------
+
+    def observe(self, page: int) -> None:
+        """Record one demand access to (original) ``page``."""
+        self.mea.record(page)
+
+    def translate(self, page: int) -> int:
+        """Current frame for ``page`` (identity unless migrated)."""
+        return self.remap.location_of(page)
+
+    # -- interval processing -------------------------------------------------
+
+    def plan_interval(self, at_ps: int) -> List["tuple[int, int]"]:
+        """Close the interval: decide up to K migrations, reset the MEA unit.
+
+        Returns frame pairs ``(victim_frame, source_frame)`` hottest
+        first.  The remap table is *not* updated here: the manager paces
+        the copies across the following interval and applies each pair's
+        remap change when its copy actually starts, so demands keep
+        hitting the old location until then.  Pairs are frame-disjoint
+        by construction (each victim slot is consumed once; hot pages
+        are distinct), so deferred application is order-safe.
+        """
+        hot: List[int] = self.mea.hot_pages()
+        plans: List["tuple[int, int]"] = []
+        if hot:
+            hot_set = set(hot)
+            fast_pages = self.geometry.fast_pages
+            for page in hot:
+                frame = self.remap.location_of(page)
+                if frame < fast_pages:
+                    continue  # already resident in fast memory: ignore
+                victim = self._find_victim(hot_set)
+                if victim is None:
+                    break  # every fast frame in this pod holds a hot page
+                plans.append((victim, frame))
+        self.migrations += len(plans)
+        self.intervals += 1
+        self.mea.reset()
+        return plans
+
+    def _find_victim(self, hot_set: set) -> Optional[int]:
+        """Next fast frame whose resident is not hot (sequential scan)."""
+        geometry = self.geometry
+        per_pod = geometry.fast_pages_per_pod
+        for _ in range(per_pod):
+            frame = geometry.pod_fast_slot_to_page(self.pod_id, self._scan_slot)
+            self._scan_slot = (self._scan_slot + 1) % per_pod
+            if self.remap.resident_of(frame) not in hot_set:
+                return frame
+        return None
+
+    # -- reporting -----------------------------------------------------------
+
+    def storage_bits(self) -> "dict[str, int]":
+        """Per-pod hardware cost: remap entries + MEA unit.
+
+        The paper's remap-table sizing: one entry per page in the pod,
+        each entry wide enough to name any frame in the pod
+        (2.8 MB/pod at paper scale).
+        """
+        entry_bits = max(1, (self.geometry.pages_per_pod - 1).bit_length())
+        return {
+            "remap_bits": self.geometry.pages_per_pod * entry_bits,
+            "tracking_bits": self.mea.storage_bits(),
+        }

@@ -1,0 +1,90 @@
+"""Per-pod remap table and inverted (fast-frame) table.
+
+MemPod needs two lookups (paper Section 5.2):
+
+* **forward** — given a requested (original) page, where does its data
+  currently live?  Consulted on every memory access.
+* **inverted** — given a fast-memory frame, which original page's data
+  occupies it?  Consulted by the eviction scan when picking a fast
+  frame to vacate for an incoming hot page.
+
+Both start as the identity (no page has moved) and stay sparse: only
+migrated pages occupy dict entries.  The two directions are updated
+together by :meth:`RemapTable.swap_frames`, the only mutation, so the
+bijection invariant (forward and inverse composing to identity) holds
+by construction; :meth:`check_invariants` verifies it for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..common.errors import MigrationError
+
+
+class RemapTable:
+    """Bijective page-to-frame mapping, identity by default."""
+
+    def __init__(self) -> None:
+        self._forward: Dict[int, int] = {}  # original page -> current frame
+        self._resident: Dict[int, int] = {}  # frame -> original page
+
+    def location_of(self, page: int) -> int:
+        """Frame currently holding ``page``'s data."""
+        return self._forward.get(page, page)
+
+    def resident_of(self, frame: int) -> int:
+        """Original page whose data currently sits in ``frame``."""
+        return self._resident.get(frame, frame)
+
+    def swap_frames(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
+        """Exchange the contents of two frames.
+
+        Returns ``(page_a, page_b)``: the original pages whose data was
+        in ``frame_a`` / ``frame_b`` before the swap (the pages a caller
+        must block while the copy is in flight).
+        """
+        if frame_a == frame_b:
+            raise MigrationError(f"cannot swap frame {frame_a} with itself")
+        page_a = self._resident.get(frame_a, frame_a)
+        page_b = self._resident.get(frame_b, frame_b)
+        self._set(page_a, frame_b)
+        self._set(page_b, frame_a)
+        return page_a, page_b
+
+    def _set(self, page: int, frame: int) -> None:
+        if page == frame:
+            # Back home: drop the entries instead of storing identities,
+            # keeping the tables exactly as sparse as the set of moved pages.
+            self._forward.pop(page, None)
+            self._resident.pop(frame, None)
+        else:
+            self._forward[page] = frame
+            self._resident[frame] = page
+
+    def moved_pages(self) -> Iterable[int]:
+        """Original pages currently living away from home."""
+        return self._forward.keys()
+
+    def __len__(self) -> int:
+        """Number of non-identity entries."""
+        return len(self._forward)
+
+    def check_invariants(self) -> None:
+        """Verify the bijection; raises :class:`MigrationError` on damage.
+
+        O(moved pages); used by tests and the simulator's debug mode.
+        """
+        if len(self._forward) != len(self._resident):
+            raise MigrationError(
+                f"forward ({len(self._forward)}) and inverted "
+                f"({len(self._resident)}) table sizes diverged"
+            )
+        for page, frame in self._forward.items():
+            back = self._resident.get(frame)
+            if back != page:
+                raise MigrationError(
+                    f"page {page} maps to frame {frame}, but frame holds {back}"
+                )
+            if page == frame:
+                raise MigrationError(f"identity entry {page} stored explicitly")

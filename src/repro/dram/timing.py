@@ -1,0 +1,140 @@
+"""DRAM timing parameter sets.
+
+:class:`DramTiming` captures the subset of JEDEC timing that dominates
+average access latency at the fidelity AMMAT comparisons need:
+
+* ``tCAS`` — column access (read latency from an open row),
+* ``tRCD`` — activate-to-column delay (row was closed),
+* ``tRP``  — precharge (row conflict adds this before activation),
+* ``tRAS`` — minimum activate-to-precharge time (limits how quickly a
+  conflicting request can close a freshly opened row),
+* burst transfer time derived from bus width, data rate and clock.
+
+All parameters are given in *memory bus cycles*, exactly as Table 2 of
+the paper specifies them (7-7-7-17 for HBM at 1 GHz, 11-11-11-28 for
+DDR4-1600), and converted once to integer picoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import require_positive, require_positive_int
+from ..common.errors import ConfigError
+from ..common.units import period_ps
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing and signalling parameters for one DRAM technology.
+
+    Attributes
+    ----------
+    name:
+        Technology label used in reports (e.g. ``"HBM"``).
+    freq_hz:
+        Bus clock frequency in Hz.
+    bus_bits:
+        Data bus width in bits per channel.
+    data_rate:
+        Transfers per clock edge pair: 1 for SDR, 2 for DDR.
+    tcas, trcd, trp, tras:
+        Core timing parameters in bus cycles.
+    """
+
+    name: str
+    freq_hz: float
+    bus_bits: int
+    data_rate: int
+    tcas: int
+    trcd: int
+    trp: int
+    tras: int
+    #: bus turnaround when the data bus switches direction (write->read
+    #: and read->write), in cycles.  Turnarounds are a first-order
+    #: throughput tax on DDR parts with mixed read/write streams.
+    turnaround: int = 0
+    #: refresh interval and refresh cycle time, in cycles.  Every
+    #: ``trefi`` the channel stalls for ``trfc`` (all banks unavailable).
+    #: ``trefi=0`` disables refresh.
+    trefi: int = 0
+    trfc: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive("freq_hz", self.freq_hz)
+        require_positive_int("bus_bits", self.bus_bits)
+        require_positive_int("data_rate", self.data_rate)
+        for field_name in ("tcas", "trcd", "trp", "tras"):
+            require_positive_int(field_name, getattr(self, field_name))
+        for field_name in ("turnaround", "trefi", "trfc"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ConfigError(f"{field_name} must be a non-negative int, got {value!r}")
+        if self.trefi and not self.trfc:
+            raise ConfigError("trfc must be positive when refresh (trefi) is enabled")
+        # Derived picosecond quantities, precomputed once: these sit on
+        # the per-transaction hot path, where recomputing the period on
+        # every access measurably slows the whole simulator.  The
+        # dataclass is frozen, so they are stashed via object.__setattr__.
+        cycle = period_ps(self.freq_hz)
+        object.__setattr__(self, "cycle_ps", cycle)
+        object.__setattr__(self, "tcas_ps", self.tcas * cycle)
+        object.__setattr__(self, "trcd_ps", self.trcd * cycle)
+        object.__setattr__(self, "trp_ps", self.trp * cycle)
+        object.__setattr__(self, "tras_ps", self.tras * cycle)
+        object.__setattr__(self, "turnaround_ps", self.turnaround * cycle)
+        object.__setattr__(self, "trefi_ps", self.trefi * cycle)
+        object.__setattr__(self, "trfc_ps", self.trfc * cycle)
+
+    #: one bus clock period in picoseconds (precomputed)
+    cycle_ps: int = 0
+    #: column-access latency in picoseconds (precomputed)
+    tcas_ps: int = 0
+    #: activate-to-column latency in picoseconds (precomputed)
+    trcd_ps: int = 0
+    #: precharge latency in picoseconds (precomputed)
+    trp_ps: int = 0
+    #: minimum activate-to-precharge window in picoseconds (precomputed)
+    tras_ps: int = 0
+    #: bus direction-switch penalty in picoseconds (precomputed)
+    turnaround_ps: int = 0
+    #: refresh interval in picoseconds, 0 = disabled (precomputed)
+    trefi_ps: int = 0
+    #: refresh cycle (channel stall) in picoseconds (precomputed)
+    trfc_ps: int = 0
+
+    def burst_ps(self, bytes_per_request: int) -> int:
+        """Bus occupancy for transferring ``bytes_per_request``.
+
+        A channel moves ``bus_bits/8 * data_rate`` bytes per cycle; the
+        result is rounded up to whole cycles since a burst cannot end
+        mid-cycle.
+        """
+        bytes_per_cycle = (self.bus_bits // 8) * self.data_rate
+        cycles = -(-bytes_per_request // bytes_per_cycle)  # ceil division
+        return cycles * self.cycle_ps
+
+    def scaled(self, name: str, freq_hz: float) -> "DramTiming":
+        """Return a copy running at ``freq_hz`` with the same cycle counts.
+
+        This models the paper's Section 6.3.4 future-technology
+        experiment: an "overclocked" part keeps its cycle-domain timing
+        but every cycle gets shorter, so absolute latency drops
+        proportionally.  Refresh is the exception — retention is a
+        physical (wall-clock) property, so tREFI and tRFC cycle counts
+        scale *with* the frequency to keep their absolute durations.
+        """
+        ratio = freq_hz / self.freq_hz
+        return DramTiming(
+            name=name,
+            freq_hz=freq_hz,
+            bus_bits=self.bus_bits,
+            data_rate=self.data_rate,
+            tcas=self.tcas,
+            trcd=self.trcd,
+            trp=self.trp,
+            tras=self.tras,
+            turnaround=self.turnaround,
+            trefi=round(self.trefi * ratio),
+            trfc=round(self.trfc * ratio),
+        )

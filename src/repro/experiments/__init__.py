@@ -1,0 +1,67 @@
+"""Per-artefact experiment drivers (one per paper table/figure)."""
+
+from .caching import CACHE_WORKLOADS, FIG9_MECHANISMS, FIG9_SIZES_KIB, Fig9Result, run_fig9
+from .common import (
+    ExperimentConfig,
+    clear_trace_cache,
+    format_rows,
+    trace_for,
+)
+from .comparison import FIG8_MECHANISMS, ComparisonResult, run_comparison
+from .design_space import (
+    FIG6_COUNTERS,
+    FIG6_EPOCHS_US,
+    FIG7_BITS,
+    SWEEP_WORKLOADS,
+    Fig6Result,
+    Fig7Result,
+    run_fig6,
+    run_fig7,
+)
+from .oracle_figs import FIG3_WORKLOADS, OracleFigures, run_oracle_figures
+from .scalability import FIG10_MECHANISMS, Fig10Result, run_fig10
+from .tables import (
+    Table1Row,
+    compute_table1,
+    format_table1,
+    format_table2,
+    format_table3,
+    table2_entries,
+    tracking_reduction_vs_hma,
+)
+
+__all__ = [
+    "CACHE_WORKLOADS",
+    "ComparisonResult",
+    "ExperimentConfig",
+    "FIG10_MECHANISMS",
+    "FIG3_WORKLOADS",
+    "FIG6_COUNTERS",
+    "FIG6_EPOCHS_US",
+    "FIG7_BITS",
+    "FIG8_MECHANISMS",
+    "FIG9_MECHANISMS",
+    "FIG9_SIZES_KIB",
+    "Fig10Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig9Result",
+    "OracleFigures",
+    "SWEEP_WORKLOADS",
+    "Table1Row",
+    "clear_trace_cache",
+    "compute_table1",
+    "format_rows",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_comparison",
+    "run_fig10",
+    "run_fig6",
+    "run_fig7",
+    "run_fig9",
+    "run_oracle_figures",
+    "table2_entries",
+    "trace_for",
+    "tracking_reduction_vs_hma",
+]

@@ -1,0 +1,121 @@
+"""Figure 8 — the headline mechanism comparison.
+
+AMMAT of MemPod, HMA, THM, CAMEO and the HBM-only upper bound,
+normalised per workload to the no-migration two-level memory (TLM),
+exactly as the paper's Figure 8 plots it (migration-related metadata
+caches disabled).  Also collects the paper's secondary observations:
+data moved per mechanism (the 3.9 GB / 3.1 GB / 865 MB / 578 MB
+comparison), per-pod traffic split, CAMEO's wasted migrations, and the
+libquantum row-buffer hit rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..system.simulator import run
+from ..system.stats import SimulationResult, arithmetic_mean
+from ..trace.workloads import HOMOGENEOUS_NAMES, MIX_NAMES
+from .common import ExperimentConfig, format_rows, trace_for
+
+# Figure 8's series, in plot order.
+FIG8_MECHANISMS = ("mempod", "hma", "thm", "cameo", "hbm-only")
+
+
+@dataclass
+class ComparisonResult:
+    """Normalised AMMAT per workload per mechanism, plus raw results."""
+
+    mechanisms: Sequence[str]
+    baseline: str = "tlm"
+    normalized: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    raw: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def workloads(self) -> List[str]:
+        """Workloads in insertion (evaluation) order."""
+        return list(self.normalized)
+
+    def average(self, mechanism: str, group: Optional[Sequence[str]] = None) -> float:
+        """Mean normalised AMMAT over a workload group (default: all)."""
+        names = group if group is not None else self.workloads()
+        values = [
+            self.normalized[name][mechanism]
+            for name in names
+            if name in self.normalized
+        ]
+        return arithmetic_mean(values)
+
+    def bytes_moved(self, mechanism: str) -> int:
+        """Total migration bytes across all workloads for one mechanism."""
+        return sum(r[mechanism].bytes_moved for r in self.raw.values())
+
+    def format_table(self) -> str:
+        headers = ["workload"] + list(self.mechanisms)
+        rows = []
+        for name in self.workloads():
+            rows.append([name] + [self.normalized[name][m] for m in self.mechanisms])
+        hg = [n for n in self.workloads() if n in HOMOGENEOUS_NAMES]
+        mix = [n for n in self.workloads() if n in MIX_NAMES]
+        for label, group in (("AVG HG", hg), ("AVG MIX", mix), ("AVG ALL", None)):
+            if group == []:
+                continue
+            rows.append([label] + [self.average(m, group) for m in self.mechanisms])
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                "Figure 8 - AMMAT normalised to no-migration TLM "
+                "(lower is better; caches disabled)"
+            ),
+        )
+
+    def format_traffic(self) -> str:
+        """The Section 6.3.2 data-movement comparison."""
+        rows = []
+        for mechanism in self.mechanisms:
+            if mechanism == "hbm-only":
+                continue
+            moved = self.bytes_moved(mechanism)
+            per_wl = moved / max(1, len(self.raw))
+            rows.append([mechanism, moved / 1e6, per_wl / 1e6])
+        return format_rows(
+            ["mechanism", "total moved (MB)", "avg per workload (MB)"],
+            rows,
+            title="Migration traffic (paper: CAMEO 3.9 GB > MemPod 3.1 GB > THM 865 MB > HMA 578 MB per experiment)",
+        )
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    mechanisms: Sequence[str] = FIG8_MECHANISMS,
+    future_tech: bool = False,
+    cache_bytes: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> ComparisonResult:
+    """Run the Figure 8 (or, with ``future_tech``, Figure 10) comparison.
+
+    ``cache_bytes`` > 0 enables the Section 6.3.3 metadata caches on the
+    mechanisms that have them (the Figure 9 configuration).
+    """
+    result = ComparisonResult(mechanisms=mechanisms)
+    geometry = config.geometry
+    for name in config.workload_list(workloads):
+        trace = trace_for(config, name)
+        baseline = run(trace, "tlm", geometry, future_tech=future_tech)
+        per_mech: Dict[str, SimulationResult] = {"tlm": baseline}
+        normalized: Dict[str, float] = {}
+        for mechanism in mechanisms:
+            params = {}
+            if mechanism == "hma":
+                params.update(config.hma_params())
+                if cache_bytes:
+                    params["cache_bytes"] = cache_bytes
+            elif mechanism in ("mempod", "thm") and cache_bytes:
+                params["cache_bytes"] = cache_bytes
+            sim = run(trace, mechanism, geometry, future_tech=future_tech, **params)
+            per_mech[mechanism] = sim
+            normalized[mechanism] = sim.normalized_to(baseline)
+        result.raw[name] = per_mech
+        result.normalized[name] = normalized
+    return result

@@ -1,0 +1,167 @@
+"""Figures 6 and 7 — MemPod's tracking/migration design space.
+
+* Figure 6 — average AMMAT over all workloads for every (epoch length,
+  MEA counter count) pair: epochs 25-500 us, counters 16-512.  The
+  paper's observations: the best cell sits at (50 us, 64 counters), the
+  low-AMMAT cells lie on the constant-migration-rate diagonal, and
+  many-counters/short-epochs beats few-counters/long-epochs.
+* Figure 7a — counter width 1-16 bits at 50 us / 64 counters:
+  normalised AMMAT (to the 2-bit column) plus the average number of
+  migrations per pod per interval on the secondary axis.
+* Figure 7b — the same sweep at 100 us / 128 counters, where the
+  optimum width grows to ~4 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..common.units import us
+from ..system.simulator import run
+from ..system.stats import arithmetic_mean
+from .common import ExperimentConfig, format_rows, trace_for
+
+FIG6_EPOCHS_US = (25, 50, 100, 200, 500)
+FIG6_COUNTERS = (16, 32, 64, 128, 256, 512)
+
+FIG7_BITS = (1, 2, 4, 8, 16)
+
+# The sweeps multiply configurations by workloads; the default workload
+# subset keeps Figure 6 tractable.  It spans the hot-set behaviour
+# classes the sweep is about (rank churn, stable skew, slow drift, a
+# mix); pure streams are excluded because for them fewer migrations is
+# trivially always better, which flattens the grid the paper's Figure 6
+# explores.
+SWEEP_WORKLOADS = ("xalanc", "omnetpp", "cactus", "astar", "mix8")
+
+
+@dataclass
+class Fig6Result:
+    """AMMAT (ns, averaged over workloads) per (epoch_us, counters)."""
+
+    ammat_ns: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    epochs_us: Sequence[int] = FIG6_EPOCHS_US
+    counters: Sequence[int] = FIG6_COUNTERS
+
+    def best_cell(self) -> Tuple[int, int]:
+        """The (epoch_us, counters) pair with the lowest average AMMAT."""
+        return min(self.ammat_ns, key=self.ammat_ns.get)
+
+    def format_table(self) -> str:
+        headers = ["epoch \\ counters"] + [str(c) for c in self.counters]
+        rows = []
+        for epoch in self.epochs_us:
+            rows.append(
+                [f"{epoch} us"]
+                + [self.ammat_ns.get((epoch, c), float("nan")) for c in self.counters]
+            )
+        return format_rows(
+            headers,
+            rows,
+            title="Figure 6 - average AMMAT (ns) per (epoch, MEA counters); paper best: (50 us, 64)",
+        )
+
+
+def run_fig6(
+    config: ExperimentConfig,
+    epochs_us: Sequence[int] = FIG6_EPOCHS_US,
+    counters: Sequence[int] = FIG6_COUNTERS,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> Fig6Result:
+    """Sweep epoch length x counter count (16-bit counters, caches off).
+
+    The paper fixes 16-bit counters for this sweep to isolate the two
+    axes under study.
+    """
+    result = Fig6Result(epochs_us=tuple(epochs_us), counters=tuple(counters))
+    geometry = config.geometry
+    names = config.workload_list(workloads)
+    for epoch in epochs_us:
+        for counter_count in counters:
+            values: List[float] = []
+            for name in names:
+                trace = trace_for(config, name)
+                sim = run(
+                    trace,
+                    "mempod",
+                    geometry,
+                    interval_ps=us(epoch),
+                    mea_counters=counter_count,
+                    mea_counter_bits=16,
+                )
+                values.append(sim.ammat_ns)
+            result.ammat_ns[(epoch, counter_count)] = arithmetic_mean(values)
+    return result
+
+
+@dataclass
+class Fig7Result:
+    """Counter-width sweep at one (epoch, counters) operating point."""
+
+    epoch_us: int
+    counters: int
+    bits: Sequence[int] = FIG7_BITS
+    ammat_ns: Dict[int, float] = field(default_factory=dict)
+    migrations_per_pod_interval: Dict[int, float] = field(default_factory=dict)
+
+    def normalized(self, reference_bits: int = 2) -> Dict[int, float]:
+        """AMMAT normalised to the reference width (paper: 2 bits)."""
+        ref = self.ammat_ns[reference_bits]
+        return {b: v / ref for b, v in self.ammat_ns.items()}
+
+    def best_bits(self) -> int:
+        """Counter width with the lowest average AMMAT."""
+        return min(self.ammat_ns, key=self.ammat_ns.get)
+
+    def format_table(self) -> str:
+        norm = self.normalized()
+        rows = [
+            [f"{b}-bit", self.ammat_ns[b], norm[b], self.migrations_per_pod_interval[b]]
+            for b in self.bits
+        ]
+        return format_rows(
+            ["counter width", "AMMAT (ns)", "vs 2-bit", "migrations/pod/interval"],
+            rows,
+            title=(
+                f"Figure 7 ({self.epoch_us} us, {self.counters} counters) - "
+                "counter width sweep"
+            ),
+        )
+
+
+def run_fig7(
+    config: ExperimentConfig,
+    epoch_us: int = 50,
+    counters: int = 64,
+    bits: Sequence[int] = FIG7_BITS,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+) -> Fig7Result:
+    """Sweep MEA counter width at a fixed (epoch, counter-count) point.
+
+    ``run_fig7(config)`` is Figure 7a; ``run_fig7(config, epoch_us=100,
+    counters=128)`` is Figure 7b.
+    """
+    result = Fig7Result(epoch_us=epoch_us, counters=counters, bits=tuple(bits))
+    geometry = config.geometry
+    names = config.workload_list(workloads)
+    for width in bits:
+        ammat: List[float] = []
+        migrations: List[float] = []
+        for name in names:
+            trace = trace_for(config, name)
+            sim = run(
+                trace,
+                "mempod",
+                geometry,
+                interval_ps=us(epoch_us),
+                mea_counters=counters,
+                mea_counter_bits=width,
+                # min_count must stay expressible in the narrowest width.
+                mea_min_count=min(2, (1 << width) - 1),
+            )
+            ammat.append(sim.ammat_ns)
+            migrations.append(sim.extras.get("migrations_per_pod_interval", 0.0))
+        result.ammat_ns[width] = arithmetic_mean(ammat)
+        result.migrations_per_pod_interval[width] = arithmetic_mean(migrations)
+    return result

@@ -1,0 +1,124 @@
+"""Figures 1-3: MEA vs Full Counters, offline oracle study (Section 3).
+
+* Figure 1 — MEA *counting* accuracy against FC's perfect counting on
+  the past interval's top three 10-page tiers, with AVG HG / AVG MIX /
+  AVG ALL summary bars.
+* Figure 2 — *prediction* accuracy: future hits per tier for MEA and a
+  FC scheme truncated to MEA's nomination count, averaged per group.
+* Figure 3 — the same prediction study for the paper's selected
+  individual workloads (cactus, xalanc, mix9, bwaves, lbm, libquantum).
+
+The study runs on the same traces the timing experiments replay, with
+the paper's parameters: 5,500-request intervals and 128 MEA counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..tracking.oracle import (
+    OracleResult,
+    TIER_LABELS,
+    average_results,
+    run_oracle_study,
+)
+from ..trace.workloads import HOMOGENEOUS_NAMES, MIX_NAMES
+from .common import ExperimentConfig, format_rows, trace_for
+
+FIG3_WORKLOADS = ("cactus", "xalanc", "mix9", "bwaves", "lbm", "libquantum")
+
+
+@dataclass
+class OracleFigures:
+    """Combined results for Figures 1, 2 and 3."""
+
+    per_workload: Dict[str, OracleResult] = field(default_factory=dict)
+    avg_hg: OracleResult = None  # type: ignore[assignment]
+    avg_mix: OracleResult = None  # type: ignore[assignment]
+    avg_all: OracleResult = None  # type: ignore[assignment]
+
+    def format_fig1(self) -> str:
+        """Figure 1: counting accuracy per tier (FC is 1.0 everywhere)."""
+        rows = []
+        for label, result in self._summary_rows():
+            rows.append([label] + [result.counting_accuracy[t] for t in range(3)])
+        return format_rows(
+            ["workload"] + list(TIER_LABELS),
+            rows,
+            title="Figure 1 - MEA counting accuracy (Full Counters = 1.000)",
+        )
+
+    def format_fig2(self) -> str:
+        """Figure 2: average future hits per tier, MEA vs truncated FC."""
+        rows = []
+        for label, result in self._summary_rows():
+            rows.append(
+                [label]
+                + [result.mea_future_hits[t] for t in range(3)]
+                + [result.fc_future_hits[t] for t in range(3)]
+            )
+        headers = ["workload"] + [f"MEA {t}" for t in TIER_LABELS] + [
+            f"FC {t}" for t in TIER_LABELS
+        ]
+        return format_rows(
+            headers, rows, title="Figure 2 - future-hit prediction (hits of 10)"
+        )
+
+    def format_fig3(self) -> str:
+        """Figure 3: the paper's selected individual workloads."""
+        rows = []
+        for name in FIG3_WORKLOADS:
+            result = self.per_workload.get(name)
+            if result is None:
+                continue
+            rows.append(
+                [name]
+                + [result.mea_future_hits[t] for t in range(3)]
+                + [result.fc_future_hits[t] for t in range(3)]
+            )
+        headers = ["workload"] + [f"MEA {t}" for t in TIER_LABELS] + [
+            f"FC {t}" for t in TIER_LABELS
+        ]
+        return format_rows(
+            headers, rows, title="Figure 3 - prediction, selected workloads"
+        )
+
+    def _summary_rows(self):
+        for name in sorted(self.per_workload):
+            yield name, self.per_workload[name]
+        for label, avg in (
+            ("AVG HG", self.avg_hg),
+            ("AVG MIX", self.avg_mix),
+            ("AVG ALL", self.avg_all),
+        ):
+            if avg is not None and avg.intervals > 0:
+                yield label, avg
+
+
+def run_oracle_figures(
+    config: ExperimentConfig,
+    interval_requests: int = 5500,
+    mea_counters: int = 128,
+) -> OracleFigures:
+    """Run the Section 3 study over the configured workloads."""
+    figures = OracleFigures()
+    hg: List[OracleResult] = []
+    mix: List[OracleResult] = []
+    for name in config.workload_list():
+        trace = trace_for(config, name)
+        result = run_oracle_study(
+            trace.page_sequence(),
+            workload=name,
+            interval_requests=interval_requests,
+            mea_counters=mea_counters,
+        )
+        figures.per_workload[name] = result
+        if name in HOMOGENEOUS_NAMES:
+            hg.append(result)
+        elif name in MIX_NAMES:
+            mix.append(result)
+    figures.avg_hg = average_results(hg, "AVG HG")
+    figures.avg_mix = average_results(mix, "AVG MIX")
+    figures.avg_all = average_results(hg + mix, "AVG ALL")
+    return figures

@@ -1,0 +1,186 @@
+"""Tables 1-3: building-block costs, machine configuration, mix roster.
+
+* Table 1 — the building-block breakdown.  The storage columns are
+  *computed* from the implementations at paper scale (1 GB + 8 GB),
+  reproducing the paper's numbers: THM remap 1.5 kB / tracking 512 kB,
+  CAMEO remap 72 kB, HMA tracking 9 MB, MemPod remap 2.8 MB per pod /
+  MEA 736 B total (and the headline ~12,800x tracking reduction vs HMA).
+* Table 2 — the simulated machine configuration, echoed from the
+  timing presets and geometry so the table can never drift from the
+  code that runs.
+* Table 3 — the mixed-workload membership matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.mempod import MemPodManager
+from ..dram.devices import DDR4_1600_TIMING, HBM_TIMING
+from ..geometry import MemoryGeometry, paper_geometry
+from ..managers import CameoManager, HmaManager, ThmManager
+from ..system.hybrid import HybridMemory
+from ..trace.spec import BENCHMARKS
+from ..trace.workloads import MIX_MEMBERS, MIX_NAMES
+from .common import format_rows
+
+
+@dataclass
+class Table1Row:
+    """One mechanism's computed hardware costs."""
+
+    mechanism: str
+    flexibility: str
+    remap_bits: int
+    tracking_bits: int
+    trigger: str
+    organization: str
+
+    @property
+    def remap_bytes(self) -> int:
+        return self.remap_bits // 8
+
+    @property
+    def tracking_bytes(self) -> int:
+        return self.tracking_bits // 8
+
+
+def compute_table1(geometry: MemoryGeometry = None) -> List[Table1Row]:
+    """Build Table 1's cost rows from the live manager implementations."""
+    geometry = geometry or paper_geometry()
+    memory = HybridMemory(geometry)
+
+    descriptors = [
+        (
+            ThmManager(memory, geometry),
+            "only 1 candidate (segments)",
+            "threshold",
+            "fully centralized",
+        ),
+        (
+            HmaManager(memory, geometry),
+            "no restrictions (OS)",
+            "interval",
+            "fully distributed",
+        ),
+        (
+            CameoManager(memory, geometry),
+            "only 1 candidate (lines)",
+            "event",
+            "fully distributed",
+        ),
+        (
+            MemPodManager(memory, geometry),
+            "intra-pod migration",
+            "interval",
+            "semi-distributed (pods)",
+        ),
+    ]
+    rows = []
+    for manager, flexibility, trigger, organization in descriptors:
+        report = manager.storage_report()
+        rows.append(
+            Table1Row(
+                mechanism=manager.name,
+                flexibility=flexibility,
+                remap_bits=report["remap_bits"],
+                tracking_bits=report["tracking_bits"],
+                trigger=trigger,
+                organization=organization,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row] = None) -> str:
+    rows = rows or compute_table1()
+    table = [
+        [
+            row.mechanism,
+            row.flexibility,
+            _human_bytes(row.remap_bytes),
+            _human_bytes(row.tracking_bytes),
+            row.trigger,
+            row.organization,
+        ]
+        for row in rows
+    ]
+    return format_rows(
+        ["mechanism", "relocation", "remap table", "activity tracking", "trigger", "organization"],
+        table,
+        title="Table 1 - building-block costs (computed at paper scale)",
+    )
+
+
+def tracking_reduction_vs_hma(rows: List[Table1Row] = None) -> float:
+    """The paper's headline ~12,800x tracking-storage reduction."""
+    rows = rows or compute_table1()
+    by_name = {row.mechanism: row for row in rows}
+    return by_name["HMA"].tracking_bits / by_name["MemPod"].tracking_bits
+
+
+def table2_entries(geometry: MemoryGeometry = None) -> Dict[str, Dict[str, str]]:
+    """Table 2 as nested dicts: section -> parameter -> value."""
+    geometry = geometry or paper_geometry()
+    hbm, ddr = HBM_TIMING, DDR4_1600_TIMING
+    return {
+        "HBM": {
+            "Capacity": _human_bytes(geometry.fast_bytes),
+            "Bus Frequency": f"{hbm.freq_hz / 1e9:g} GHz",
+            "Bus Width (bits)": str(hbm.bus_bits),
+            "Channels": str(geometry.fast_channels),
+            "Ranks": str(geometry.ranks),
+            "Banks": str(geometry.banks),
+            "Row Buffer Size": _human_bytes(geometry.row_bytes),
+            "tCAS-tRCD-tRP-tRAS": f"{hbm.tcas}-{hbm.trcd}-{hbm.trp}-{hbm.tras}",
+        },
+        "DDR4-1600": {
+            "Capacity": _human_bytes(geometry.slow_bytes),
+            "Bus Frequency": f"{ddr.freq_hz / 1e6:g} MHz (DDR)",
+            "Bus Width (bits)": str(ddr.bus_bits),
+            "Channels": str(geometry.slow_channels),
+            "Ranks": str(geometry.ranks),
+            "Banks": str(geometry.banks),
+            "Row Buffer Size": _human_bytes(geometry.row_bytes),
+            "tCAS-tRCD-tRP-tRAS": f"{ddr.tcas}-{ddr.trcd}-{ddr.trp}-{ddr.tras}",
+        },
+    }
+
+
+def format_table2(geometry: MemoryGeometry = None) -> str:
+    entries = table2_entries(geometry)
+    rows = []
+    for section, params in entries.items():
+        for key, value in params.items():
+            rows.append([section, key, value])
+    return format_rows(
+        ["memory", "parameter", "value"],
+        rows,
+        title="Table 2 - simulated configuration (echoed from the presets)",
+    )
+
+
+def format_table3() -> str:
+    """Table 3: benchmark membership per mix (x2 marks double copies)."""
+    benchmarks = sorted(BENCHMARKS)
+    rows = []
+    for bench in benchmarks:
+        row = [bench]
+        for mix in MIX_NAMES:
+            count = MIX_MEMBERS[mix].count(bench)
+            row.append({0: "", 1: "x", 2: "x2"}.get(count, str(count)))
+        rows.append(row)
+    return format_rows(
+        ["benchmark"] + list(MIX_NAMES),
+        rows,
+        title="Table 3 - mixed workload composition",
+    )
+
+
+def _human_bytes(value: int) -> str:
+    for unit, factor in (("GB", 1 << 30), ("MB", 1 << 20), ("kB", 1 << 10)):
+        if value >= factor:
+            scaled = value / factor
+            return f"{scaled:.1f} {unit}" if scaled % 1 else f"{int(scaled)} {unit}"
+    return f"{value} B"

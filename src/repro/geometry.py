@@ -1,0 +1,267 @@
+"""Machine geometry: capacities, topology, and the pod partition.
+
+:class:`MemoryGeometry` is the single source of truth for "how big is
+everything" — both the workload substrate (footprints are expressed as
+fractions of fast-memory capacity) and the system layer (device and pod
+construction) derive from it.
+
+Two presets are provided:
+
+* :func:`paper_geometry` — the exact Table 2 machine: 1 GB HBM over
+  8 channels + 8 GB DDR4 over 4 channels, 2 KB pages, 4 Pods.
+* :func:`scaled_geometry` — the same *shape* divided by ``scale``
+  (default 32: 32 MB + 256 MB).  Python is roughly three orders of
+  magnitude slower than the paper's C++ Ramulator, so experiments run
+  on a proportionally smaller machine with proportionally smaller
+  workload footprints; every capacity *ratio* the paper's conclusions
+  depend on (1:8 fast:slow, footprint vs. fast capacity, pages per row)
+  is preserved.  See DESIGN.md Section 5.
+
+The pod partition follows Figure 4: with 8 fast channels and 4 slow
+channels, Pod *i* owns fast channels ``{2i, 2i+1}`` and slow channel
+``i``.  Because the device address mapper stripes *rows* across
+channels, the helpers here convert between global page numbers and
+per-pod page slots in O(1) arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common.config import require_multiple, require_power_of_two, require_positive_int
+from .common.errors import AddressError, ConfigError
+from .common.units import gib, is_power_of_two
+
+PAGE_BYTES_DEFAULT = 2 * 1024
+ROW_BYTES_DEFAULT = 8 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Capacities and topology of the two-level machine."""
+
+    fast_bytes: int
+    slow_bytes: int
+    fast_channels: int
+    slow_channels: int
+    banks: int
+    ranks: int
+    pods: int
+    page_bytes: int = PAGE_BYTES_DEFAULT
+    row_bytes: int = ROW_BYTES_DEFAULT
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fast_bytes",
+            "slow_bytes",
+            "fast_channels",
+            "slow_channels",
+            "banks",
+            "ranks",
+            "pods",
+            "page_bytes",
+            "row_bytes",
+        ):
+            require_positive_int(name, getattr(self, name))
+        require_power_of_two("page_bytes", self.page_bytes)
+        require_power_of_two("row_bytes", self.row_bytes)
+        require_power_of_two("fast_channels", self.fast_channels)
+        require_power_of_two("slow_channels", self.slow_channels)
+        if self.row_bytes < self.page_bytes:
+            raise ConfigError(
+                "row_bytes must be >= page_bytes: the paper's co-location "
+                "effect requires whole pages inside one row"
+            )
+        require_multiple("fast_channels", self.fast_channels, "pods", self.pods)
+        require_multiple("slow_channels", self.slow_channels, "pods", self.pods)
+        require_multiple("fast_bytes", self.fast_bytes, "row stripe",
+                         self.row_bytes * self.fast_channels)
+        require_multiple("slow_bytes", self.slow_bytes, "row stripe",
+                         self.row_bytes * self.slow_channels)
+        if not is_power_of_two(self.fast_bytes) or not is_power_of_two(self.slow_bytes):
+            raise ConfigError("capacities must be powers of two for bit-sliced mapping")
+
+    # -- derived counts --------------------------------------------------
+
+    @property
+    def fast_pages(self) -> int:
+        """Total 2 KB page slots in fast memory."""
+        return self.fast_bytes // self.page_bytes
+
+    @property
+    def slow_pages(self) -> int:
+        """Total 2 KB page slots in slow memory."""
+        return self.slow_bytes // self.page_bytes
+
+    @property
+    def total_pages(self) -> int:
+        """Page slots across the whole flat address space."""
+        return self.fast_pages + self.slow_pages
+
+    @property
+    def total_bytes(self) -> int:
+        """Flat physical address space size."""
+        return self.fast_bytes + self.slow_bytes
+
+    @property
+    def pages_per_row(self) -> int:
+        """Pages sharing one DRAM row buffer."""
+        return self.row_bytes // self.page_bytes
+
+    @property
+    def lines_per_page(self) -> int:
+        """64 B transactions needed to move one page (one direction)."""
+        return self.page_bytes // 64
+
+    @property
+    def fast_channels_per_pod(self) -> int:
+        """Fast-memory channels owned by each pod."""
+        return self.fast_channels // self.pods
+
+    @property
+    def slow_channels_per_pod(self) -> int:
+        """Slow-memory channels owned by each pod."""
+        return self.slow_channels // self.pods
+
+    @property
+    def fast_pages_per_pod(self) -> int:
+        """Fast page slots owned by each pod."""
+        return self.fast_pages // self.pods
+
+    @property
+    def slow_pages_per_pod(self) -> int:
+        """Slow page slots owned by each pod."""
+        return self.slow_pages // self.pods
+
+    @property
+    def pages_per_pod(self) -> int:
+        """All page slots (fast + slow) owned by each pod."""
+        return self.fast_pages_per_pod + self.slow_pages_per_pod
+
+    # -- flat address space layout ----------------------------------------
+    #
+    # Flat page number p:
+    #   p <  fast_pages           -> fast device offset p * page_bytes
+    #   p >= fast_pages           -> slow device offset (p - fast_pages) * page_bytes
+
+    def is_fast_page(self, page: int) -> bool:
+        """True when flat page ``page`` lives in the fast device."""
+        self._check_page(page)
+        return page < self.fast_pages
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.total_pages:
+            raise AddressError(f"page {page} outside flat space of {self.total_pages}")
+
+    # -- pod ownership ----------------------------------------------------
+    #
+    # Within a device, the row-granularity channel stripe means page p's
+    # channel is (p // pages_per_row) % channels.  Pod ownership follows
+    # from channel ownership.
+
+    def fast_page_pod(self, page: int) -> int:
+        """Pod owning fast page ``page`` (a flat page < fast_pages)."""
+        channel = (page // self.pages_per_row) % self.fast_channels
+        return channel // self.fast_channels_per_pod
+
+    def slow_page_pod(self, page: int) -> int:
+        """Pod owning slow page ``page`` (a flat page >= fast_pages)."""
+        channel = ((page - self.fast_pages) // self.pages_per_row) % self.slow_channels
+        return channel // self.slow_channels_per_pod
+
+    def page_pod(self, page: int) -> int:
+        """Pod owning any flat page."""
+        self._check_page(page)
+        if page < self.fast_pages:
+            return self.fast_page_pod(page)
+        return self.slow_page_pod(page)
+
+    # -- per-pod page slot enumeration -------------------------------------
+    #
+    # Each pod needs a dense index over its own fast slots (the MemPod
+    # eviction scan walks fast slots sequentially) and over all its slots
+    # (remap tables are per-pod).  The stripe is periodic with period
+    # pages_per_row * channels, so both directions are O(1).
+
+    def pod_fast_slot_to_page(self, pod: int, slot: int) -> int:
+        """The flat page number of a pod's ``slot``-th fast page."""
+        if not 0 <= pod < self.pods:
+            raise AddressError(f"pod {pod} out of range")
+        if not 0 <= slot < self.fast_pages_per_pod:
+            raise AddressError(f"fast slot {slot} out of range for pod {pod}")
+        ppr = self.pages_per_row
+        cpp = self.fast_channels_per_pod
+        row_group, rem = divmod(slot, ppr * cpp)
+        chan_in_pod, page_in_row = divmod(rem, ppr)
+        channel = pod * cpp + chan_in_pod
+        return (row_group * self.fast_channels + channel) * ppr + page_in_row
+
+    def fast_page_to_pod_slot(self, page: int) -> "tuple[int, int]":
+        """Inverse of :meth:`pod_fast_slot_to_page`: ``(pod, slot)``."""
+        if not 0 <= page < self.fast_pages:
+            raise AddressError(f"page {page} is not a fast page")
+        ppr = self.pages_per_row
+        cpp = self.fast_channels_per_pod
+        row_stripe, page_in_row = divmod(page, ppr)
+        row_group, channel = divmod(row_stripe, self.fast_channels)
+        pod, chan_in_pod = divmod(channel, cpp)
+        slot = (row_group * cpp + chan_in_pod) * ppr + page_in_row
+        return pod, slot
+
+    def pod_slow_slot_to_page(self, pod: int, slot: int) -> int:
+        """The flat page number of a pod's ``slot``-th slow page."""
+        if not 0 <= pod < self.pods:
+            raise AddressError(f"pod {pod} out of range")
+        if not 0 <= slot < self.slow_pages_per_pod:
+            raise AddressError(f"slow slot {slot} out of range for pod {pod}")
+        ppr = self.pages_per_row
+        cpp = self.slow_channels_per_pod
+        row_group, rem = divmod(slot, ppr * cpp)
+        chan_in_pod, page_in_row = divmod(rem, ppr)
+        channel = pod * cpp + chan_in_pod
+        return self.fast_pages + (row_group * self.slow_channels + channel) * ppr + page_in_row
+
+    def slow_page_to_pod_slot(self, page: int) -> "tuple[int, int]":
+        """Inverse of :meth:`pod_slow_slot_to_page`: ``(pod, slot)``."""
+        if not self.fast_pages <= page < self.total_pages:
+            raise AddressError(f"page {page} is not a slow page")
+        ppr = self.pages_per_row
+        cpp = self.slow_channels_per_pod
+        row_stripe, page_in_row = divmod(page - self.fast_pages, ppr)
+        row_group, channel = divmod(row_stripe, self.slow_channels)
+        pod, chan_in_pod = divmod(channel, cpp)
+        slot = (row_group * cpp + chan_in_pod) * ppr + page_in_row
+        return pod, slot
+
+
+def paper_geometry(pods: int = 4) -> MemoryGeometry:
+    """The exact Table 2 machine: 1 GB HBM + 8 GB DDR4, four Pods."""
+    return MemoryGeometry(
+        fast_bytes=gib(1),
+        slow_bytes=gib(8),
+        fast_channels=8,
+        slow_channels=4,
+        banks=16,
+        ranks=1,
+        pods=pods,
+    )
+
+
+def scaled_geometry(scale: int = 32, pods: int = 4) -> MemoryGeometry:
+    """The Table 2 machine with capacities divided by ``scale``.
+
+    ``scale`` must be a power of two so capacities stay bit-sliceable.
+    Channel counts, bank counts, page and row sizes are *not* scaled:
+    the machine keeps its parallelism and its pages-per-row ratio, only
+    the rows-per-bank depth shrinks.
+    """
+    require_power_of_two("scale", scale)
+    return MemoryGeometry(
+        fast_bytes=gib(1) // scale,
+        slow_bytes=gib(8) // scale,
+        fast_channels=8,
+        slow_channels=4,
+        banks=16,
+        ranks=1,
+        pods=pods,
+    )

@@ -1,0 +1,16 @@
+"""Baseline memory managers: TLM, single-level, HMA, THM, CAMEO."""
+
+from .base import MemoryManager
+from .cameo import CameoManager
+from .hma import HmaManager
+from .static import NoMigrationManager, SingleLevelManager
+from .thm import ThmManager
+
+__all__ = [
+    "CameoManager",
+    "HmaManager",
+    "MemoryManager",
+    "NoMigrationManager",
+    "SingleLevelManager",
+    "ThmManager",
+]

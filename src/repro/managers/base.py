@@ -1,0 +1,147 @@
+"""Memory-manager protocol and shared mechanics.
+
+A :class:`MemoryManager` owns the path between the LLC and the memory
+devices: it observes every demand request, translates addresses through
+whatever remapping it maintains, injects migration and bookkeeping
+traffic, and enforces blocking for pages with in-flight swaps.
+
+The shared base implements the two mechanics every mechanism needs:
+
+* **page blocking** — a demand to a page whose swap (or metadata fill)
+  is in flight is delayed to the swap's completion but *accounted* from
+  its original arrival, so the block shows up as memory stall time in
+  AMMAT (paper Section 4.3);
+* **storage reporting** — each manager reports its remap-table and
+  activity-tracking hardware cost for the Table 1 comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from ..core.datapath import MigrationEngine, MigrationStats
+from ..geometry import MemoryGeometry
+
+if TYPE_CHECKING:  # annotation-only; avoids a package cycle
+    from ..system.hybrid import HybridMemory
+
+
+class MemoryManager(ABC):
+    """Base class for every migration mechanism (and the baselines)."""
+
+    #: short mechanism label used in reports ("MemPod", "THM", ...)
+    name: str = "base"
+
+    def __init__(self, memory: "HybridMemory", geometry: MemoryGeometry) -> None:
+        self.memory = memory
+        self.geometry = geometry
+        self.engine = MigrationEngine(memory, geometry)
+        self._blocked: Dict[int, int] = {}
+        self.blocked_hits = 0
+        # Scheduled page copies: a min-heap of (issue_ps, seq, frame_a,
+        # frame_b, pod), drained as simulated time passes each issue
+        # time.  A heap (not FIFO) because pods schedule their interval
+        # plans independently, so issue times interleave across pods.
+        self._swap_queue: list = []
+        self._swap_seq = 0
+
+    # -- request path -----------------------------------------------------
+
+    @abstractmethod
+    def handle(self, address: int, is_write: bool, arrival_ps: int, core: int) -> None:
+        """Process one demand request from the trace."""
+
+    def finish(self, end_ps: int) -> int:
+        """Complete outstanding work at the end of the trace.
+
+        Issues any still-scheduled copies (their remap effects are
+        already visible, so the traffic must exist), then drains the
+        devices.
+        """
+        self._issue_due_swaps(None)
+        return self.memory.flush()
+
+    # -- paced swap issuance -------------------------------------------------
+    #
+    # Interval-triggered managers decide a batch of swaps at a boundary
+    # but a real migration driver paces the copies so demand keeps
+    # flowing; pages stay served from their *old* location until their
+    # copy actually starts.  The queue holds (issue_ps, frame_a,
+    # frame_b, pod) in issue order; _apply_swap performs the
+    # manager-specific remap update, the data movement, and the
+    # copy-window blocking at issue time.
+
+    def _schedule_swaps(self, pairs, start_ps: int, spacing_ps: int) -> None:
+        """Queue frame-pair copies at ``start_ps + k * spacing_ps``.
+
+        ``pairs`` is an iterable of ``(frame_a, frame_b, pod)``; pairs
+        within one batch must be frame-disjoint so deferred application
+        commutes with planning.
+        """
+        issue_ps = start_ps
+        for frame_a, frame_b, pod in pairs:
+            heapq.heappush(
+                self._swap_queue, (issue_ps, self._swap_seq, frame_a, frame_b, pod)
+            )
+            self._swap_seq += 1
+            issue_ps += spacing_ps
+
+    def _issue_due_swaps(self, now_ps) -> None:
+        """Apply every scheduled copy due by ``now_ps`` (all, if None)."""
+        queue = self._swap_queue
+        while queue and (now_ps is None or queue[0][0] <= now_ps):
+            issue_ps, _, frame_a, frame_b, pod = heapq.heappop(queue)
+            self._apply_swap(frame_a, frame_b, pod, issue_ps)
+
+    def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
+        """Move the data of one scheduled swap; managers override to also
+        update their remap state and block the in-flight pages."""
+        return self.engine.swap_pages(frame_a, frame_b, issue_ps, pod=pod)
+
+    # -- blocking ----------------------------------------------------------
+
+    def _block_page(self, page: int, until_ps: int) -> None:
+        """Mark ``page`` unavailable until ``until_ps`` (swap in flight)."""
+        current = self._blocked.get(page, 0)
+        if until_ps > current:
+            self._blocked[page] = until_ps
+
+    def _block_penalty_ps(self, page: int, arrival_ps: int) -> int:
+        """Stall a demand to ``page`` suffers from an in-flight swap.
+
+        Returns ``max(0, block_end - arrival)``.  Callers charge the
+        penalty by issuing the request at its true arrival with
+        ``account_ps = arrival - penalty`` — the wait shows up in the
+        AMMAT numerator without pushing a future timestamp into the
+        controllers (which would convoy the channel for unrelated
+        traffic).  Expired entries are pruned opportunistically.
+        """
+        until = self._blocked.get(page)
+        if until is None:
+            return 0
+        if until <= arrival_ps:
+            del self._blocked[page]
+            return 0
+        self.blocked_hits += 1
+        return until - arrival_ps
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def migration_stats(self) -> MigrationStats:
+        """Traffic moved by this manager's datapath."""
+        return self.engine.stats
+
+    def storage_report(self) -> Dict[str, int]:
+        """Hardware state in bits: ``{"remap_bits": ..., "tracking_bits": ...}``.
+
+        Baselines carry no state; mechanisms override.
+        """
+        return {"remap_bits": 0, "tracking_bits": 0}
+
+    def describe(self) -> Tuple[str, str]:
+        """``(name, one-line summary)`` for experiment tables."""
+        doc = (self.__doc__ or "").strip().splitlines()
+        return self.name, doc[0] if doc else ""

@@ -1,0 +1,152 @@
+"""CAMEO: cache-line-granularity flat-space management (Chou et al.,
+MICRO 2014).
+
+Modelled per the paper's Sections 2, 4 and Table 1:
+
+* **Congruence groups** — every fast-memory 64 B line anchors a group
+  with ``slow:fast`` ratio slow lines (8 at paper scale); a line can
+  only ever migrate to its group's single fast slot.
+* **Event trigger** — *every* access to a line currently in slow memory
+  swaps it with the group's fast resident (no activity tracking at
+  all), which is what makes CAMEO thrash at a 1:8 capacity ratio: nine
+  lines compete for one fast slot and each slow hit forces a 4-transfer
+  swap.
+* **Line Location Predictor** — CAMEO stores its bookkeeping in memory
+  and predicts a line's location to skip the lookup.  We model a
+  tag-hash predictor table; a misprediction costs one extra
+  ``BOOKKEEPING`` read (the wrong-location probe).  With
+  ``predictor_entries=0`` location is oracle (the paper's
+  caches-disabled configuration).
+* **Wasted migrations** — the paper observes lines evicted before ever
+  being touched again; we count them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..dram.request import BOOKKEEPING
+from ..geometry import MemoryGeometry
+from ..system.hybrid import HybridMemory
+from .base import MemoryManager
+
+LINE_BYTES = 64
+
+
+class CameoManager(MemoryManager):
+    """Swap-on-every-slow-access at 64 B granularity."""
+
+    name = "CAMEO"
+
+    def __init__(
+        self,
+        memory: HybridMemory,
+        geometry: MemoryGeometry,
+        predictor_entries: int = 0,
+    ) -> None:
+        super().__init__(memory, geometry)
+        self.fast_lines = geometry.fast_bytes // LINE_BYTES
+        # Line-granularity remap, sparse identity (original -> current).
+        self._location: Dict[int, int] = {}
+        self._resident: Dict[int, int] = {}
+        self.predictor_entries = predictor_entries
+        self._predictor: Dict[int, int] = {}
+        self.predictor_hits = 0
+        self.predictor_misses = 0
+        self.total_migrations = 0
+        self.wasted_migrations = 0
+        # Lines migrated into fast memory and not yet re-touched.
+        self._untouched_in_fast: Dict[int, bool] = {}
+
+    # -- group topology ---------------------------------------------------
+
+    def group_of(self, line: int) -> int:
+        """The congruence group a line belongs to (by original address)."""
+        if line < self.fast_lines:
+            return line
+        return (line - self.fast_lines) % self.fast_lines
+
+    # -- request path --------------------------------------------------------
+
+    def handle(self, address: int, is_write: bool, arrival_ps: int, core: int) -> None:
+        line = address // LINE_BYTES
+        penalty_ps = self._block_penalty_ps(line, arrival_ps)
+        if self.predictor_entries:
+            penalty_ps += self._predict(line, arrival_ps)
+
+        current = self._location.get(line, line)
+        if line in self._untouched_in_fast:
+            del self._untouched_in_fast[line]
+
+        if current < self.fast_lines:
+            self.memory.access(
+                current * LINE_BYTES, is_write, arrival_ps,
+                account_ps=arrival_ps - penalty_ps,
+            )
+            return
+
+        # Slow hit: serve the demand from the slow location, then swap the
+        # line into its group's fast slot (existing writeback/fill queues
+        # in the paper's datapath; plain MIGRATION traffic here).
+        self.memory.access(
+            current * LINE_BYTES, is_write, arrival_ps,
+            account_ps=arrival_ps - penalty_ps,
+        )
+        fast_slot = self.group_of(line)
+        evicted = self._resident.get(fast_slot, fast_slot)
+        if evicted in self._untouched_in_fast:
+            del self._untouched_in_fast[evicted]
+            self.wasted_migrations += 1
+        line_a, line_b = self._swap_locations(fast_slot, current)
+        completion = self.engine.swap_lines(
+            fast_slot * LINE_BYTES, current * LINE_BYTES, arrival_ps
+        )
+        self._block_page(line_a, completion)
+        self._block_page(line_b, completion)
+        self._untouched_in_fast[line] = True
+        self.total_migrations += 1
+
+    def _swap_locations(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
+        line_a = self._resident.get(frame_a, frame_a)
+        line_b = self._resident.get(frame_b, frame_b)
+        for moved, frame in ((line_a, frame_b), (line_b, frame_a)):
+            if moved == frame:
+                self._location.pop(moved, None)
+                self._resident.pop(frame, None)
+            else:
+                self._location[moved] = frame
+                self._resident[frame] = moved
+        return line_a, line_b
+
+    def _predict(self, line: int, at_ps: int) -> int:
+        """Line Location Predictor; returns the misprediction penalty.
+
+        The predictor is a direct-mapped table of last-seen locations,
+        indexed by a hash of the line; a miss (cold or aliased) models
+        the paper's fallback — read the in-memory bookkeeping — as one
+        ``BOOKKEEPING`` access whose fill time stalls the line.
+        """
+        slot = line % self.predictor_entries
+        actual = self._location.get(line, line)
+        if self._predictor.get(slot) == actual:
+            self.predictor_hits += 1
+            return 0
+        self.predictor_misses += 1
+        self._predictor[slot] = actual
+        store_page = (line // self.geometry.lines_per_page) % self.geometry.fast_pages
+        self.memory.access(
+            store_page * self.geometry.page_bytes, False, at_ps, kind=BOOKKEEPING
+        )
+        timing = self.memory.fast.timing
+        fill_cost = timing.trcd_ps + timing.tcas_ps + timing.burst_ps(64)
+        self._block_page(line, at_ps + fill_cost)
+        return fill_cost
+
+    def storage_report(self) -> "dict[str, int]":
+        """One remap entry per fast line; no activity tracking at all."""
+        ratio = max(1, (self.geometry.slow_bytes // LINE_BYTES) // self.fast_lines)
+        entry_bits = max(1, ratio.bit_length())
+        return {
+            "remap_bits": self.fast_lines * entry_bits,
+            "tracking_bits": 0,
+        }

@@ -1,0 +1,155 @@
+"""THM: transparent hardware management (Sim et al., MICRO 2014).
+
+Modelled per the paper's Sections 2, 4 and Table 1:
+
+* **Segments** — migration is restricted to sets of pages: one fast
+  frame plus ``slow:fast`` ratio slow frames (8 at paper scale).  A
+  slow page can only ever occupy its segment's single fast frame.
+* **Competing counters** — one up/down counter per segment: accesses to
+  the segment's slow pages increment it, accesses to the fast-resident
+  page decrement it; crossing ``threshold`` swaps the *last-accessing*
+  slow page in (the false-positive mechanism the paper calls out — a
+  cold page touched at the right moment gets migrated).
+* **Threshold trigger** — migration happens inline, at the access that
+  crosses the threshold, not at interval boundaries.
+* Optionally a metadata cache fronts the combined counter + remap
+  store (THM's SRT); misses inject ``BOOKKEEPING`` reads and block the
+  affected page, as in Section 6.3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import require_positive_int
+from ..dram.request import BOOKKEEPING
+from ..geometry import MemoryGeometry
+from ..system.cache import MetadataCache
+from ..system.hybrid import HybridMemory
+from ..tracking.competing import CompetingCounterArray
+from .base import MemoryManager
+
+# Competing-counter trigger threshold.  Low thresholds thrash under
+# low-locality traffic (every fourth touch of a segment migrates a page
+# that will not be reused); 16 keeps false positives rare while letting
+# genuinely hot pages win a segment within a fraction of an interval.
+DEFAULT_THRESHOLD = 16
+SRT_ENTRY_BYTES = 8  # counter + segment remap state share one entry
+
+
+class ThmManager(MemoryManager):
+    """Segment-restricted migration with competing counters."""
+
+    name = "THM"
+
+    def __init__(
+        self,
+        memory: HybridMemory,
+        geometry: MemoryGeometry,
+        threshold: int = DEFAULT_THRESHOLD,
+        counter_bits: int = 8,
+        cache_bytes: int = 0,
+    ) -> None:
+        super().__init__(memory, geometry)
+        require_positive_int("threshold", threshold)
+        self.counters = CompetingCounterArray(
+            segments=geometry.fast_pages,
+            threshold=threshold,
+            counter_bits=counter_bits,
+        )
+        # Segment-local remap: original page -> frame and frame -> page.
+        self._location: Dict[int, int] = {}
+        self._resident: Dict[int, int] = {}
+        self._cache: Optional[MetadataCache] = (
+            MetadataCache(cache_bytes, entry_bytes=SRT_ENTRY_BYTES) if cache_bytes else None
+        )
+        self._page_shift = (geometry.page_bytes - 1).bit_length()
+        self._page_mask = geometry.page_bytes - 1
+        self.total_migrations = 0
+
+    # -- segment topology ---------------------------------------------------
+
+    def segment_of(self, page: int) -> int:
+        """The segment a page belongs to, by its original address."""
+        fast_pages = self.geometry.fast_pages
+        if page < fast_pages:
+            return page
+        return (page - fast_pages) % fast_pages
+
+    # -- request path ----------------------------------------------------------
+
+    def handle(self, address: int, is_write: bool, arrival_ps: int, core: int) -> None:
+        page = address >> self._page_shift
+        segment = self.segment_of(page)
+        penalty_ps = self._block_penalty_ps(page, arrival_ps)
+        if self._cache is not None:
+            penalty_ps += self._srt_lookup(segment, page, arrival_ps)
+
+        frame = self._location.get(page, page)
+        fast_pages = self.geometry.fast_pages
+        if frame < fast_pages:
+            self.counters.access_resident(segment)
+        else:
+            challenger = self.counters.access_challenger(segment, page)
+            if challenger is not None:
+                penalty_ps += self._migrate(segment, challenger, arrival_ps)
+                frame = self._location.get(page, page)
+
+        new_address = (frame << self._page_shift) | (address & self._page_mask)
+        self.memory.access(
+            new_address, is_write, arrival_ps, account_ps=arrival_ps - penalty_ps
+        )
+
+    def _migrate(self, segment: int, challenger: int, at_ps: int) -> int:
+        """Swap the challenger into the segment's fast frame.
+
+        The triggering access itself waits for the swap (its data is in
+        flight), so the swap's duration is returned as a stall penalty.
+        """
+        fast_frame = segment
+        challenger_frame = self._location.get(challenger, challenger)
+        if challenger_frame == fast_frame:
+            return 0  # already resident (stale trigger)
+        page_a, page_b = self._swap_locations(fast_frame, challenger_frame)
+        completion = self.engine.swap_pages(fast_frame, challenger_frame, at_ps)
+        self._block_page(page_a, completion)
+        self._block_page(page_b, completion)
+        self.total_migrations += 1
+        return completion - at_ps
+
+    def _swap_locations(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
+        page_a = self._resident.get(frame_a, frame_a)
+        page_b = self._resident.get(frame_b, frame_b)
+        for page, frame in ((page_a, frame_b), (page_b, frame_a)):
+            if page == frame:
+                self._location.pop(page, None)
+                self._resident.pop(frame, None)
+            else:
+                self._location[page] = frame
+                self._resident[frame] = page
+        return page_a, page_b
+
+    def _srt_lookup(self, segment: int, page: int, at_ps: int) -> int:
+        """SRT cache lookup; returns the miss penalty in picoseconds."""
+        cache = self._cache
+        assert cache is not None
+        if cache.lookup(segment):
+            return 0
+        geometry = self.geometry
+        line = segment // cache.entries_per_line
+        store_page = line % geometry.fast_pages
+        store_address = store_page * geometry.page_bytes + (line * 64) % geometry.page_bytes
+        self.memory.access(store_address, False, at_ps, kind=BOOKKEEPING)
+        timing = self.memory.fast.timing
+        fill_cost = timing.trcd_ps + timing.tcas_ps + timing.burst_ps(64)
+        self._block_page(page, at_ps + fill_cost)
+        return fill_cost
+
+    def storage_report(self) -> "dict[str, int]":
+        """Per-fast-page remap entry + the competing-counter array."""
+        ratio = max(1, self.geometry.slow_pages // self.geometry.fast_pages)
+        entry_bits = max(1, ratio.bit_length())  # which member is resident
+        return {
+            "remap_bits": self.geometry.fast_pages * entry_bits,
+            "tracking_bits": self.counters.storage_bits(),
+        }

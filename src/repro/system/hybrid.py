@@ -1,0 +1,196 @@
+"""The flat-address-space hybrid memory.
+
+:class:`HybridMemory` glues the two :class:`MemoryDevice` instances into
+one flat physical space: addresses below ``fast_bytes`` hit the
+die-stacked device, the rest hit the off-chip device, exactly as the
+paper's Figure 4 machine exposes both to software.  It also provides
+single-device construction for the HBM-only and DDR-only baseline
+configurations of Figures 8 and 10.
+
+Everything is built from a :class:`MemoryGeometry`, so the paper-scale
+and Python-scale machines share all code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.errors import AddressError
+from ..dram.controller import ControllerStats
+from ..dram.devices import DDR4_1600_TIMING, HBM_TIMING, MemoryDevice
+from ..dram.request import DEMAND
+from ..dram.timing import DramTiming
+from ..geometry import MemoryGeometry
+
+
+def build_device(
+    name: str,
+    timing: DramTiming,
+    capacity_bytes: int,
+    channels: int,
+    geometry: MemoryGeometry,
+    window: int = 8,
+) -> MemoryDevice:
+    """Construct a device with the geometry's bank/rank/row shape."""
+    return MemoryDevice(
+        name=name,
+        timing=timing,
+        capacity_bytes=capacity_bytes,
+        channels=channels,
+        ranks=geometry.ranks,
+        banks=geometry.banks,
+        row_bytes=geometry.row_bytes,
+        window=window,
+    )
+
+
+class HybridMemory:
+    """Fast + slow devices behind one flat physical address space."""
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        fast_timing: DramTiming = HBM_TIMING,
+        slow_timing: DramTiming = DDR4_1600_TIMING,
+        window: int = 8,
+    ) -> None:
+        self.geometry = geometry
+        self.fast = build_device(
+            fast_timing.name, fast_timing, geometry.fast_bytes, geometry.fast_channels,
+            geometry, window,
+        )
+        self.slow = build_device(
+            slow_timing.name, slow_timing, geometry.slow_bytes, geometry.slow_channels,
+            geometry, window,
+        )
+
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        arrival_ps: int,
+        kind: int = DEMAND,
+        account_ps: Optional[int] = None,
+    ) -> None:
+        """Route one 64 B transaction by flat physical address."""
+        fast_bytes = self.geometry.fast_bytes
+        if address < fast_bytes:
+            self.fast.access(address, is_write, arrival_ps, kind, account_ps)
+        elif address < fast_bytes + self.geometry.slow_bytes:
+            self.slow.access(address - fast_bytes, is_write, arrival_ps, kind, account_ps)
+        else:
+            raise AddressError(
+                f"address {address:#x} outside the {self.geometry.total_bytes:#x}-byte flat space"
+            )
+
+    def is_fast_address(self, address: int) -> bool:
+        """True when the flat address maps to the fast device."""
+        return address < self.geometry.fast_bytes
+
+    def flush(self) -> int:
+        """Drain every controller; return the latest completion seen."""
+        return max(self.fast.flush(), self.slow.flush())
+
+    def flush_page(self, page: int) -> int:
+        """Drain the one channel that serves flat ``page``.
+
+        Used by migration datapaths that need a page swap's completion
+        time without draining the whole machine.
+        """
+        geometry = self.geometry
+        address = page * geometry.page_bytes
+        if address < geometry.fast_bytes:
+            channel, _, _ = self.fast.mapper.fast_decode(address)
+            return self.fast.flush_channel(channel)
+        channel, _, _ = self.slow.mapper.fast_decode(address - geometry.fast_bytes)
+        return self.slow.flush_channel(channel)
+
+    def block_until(self, ps: int) -> None:
+        """Stall both devices until ``ps`` (HMA's OS/sort penalty)."""
+        self.fast.block_until(ps)
+        self.slow.block_until(ps)
+
+    def peak_bus_free_ps(self) -> int:
+        """The furthest-ahead bus timestamp across every channel.
+
+        The simulator's CPU throttle compares this to the current trace
+        time to detect saturation (see ``repro.system.simulator``).
+        """
+        peak = 0
+        for device in (self.fast, self.slow):
+            for ctrl in device.controllers:
+                if ctrl.bus_free_ps > peak:
+                    peak = ctrl.bus_free_ps
+        return peak
+
+    def merged_stats(self) -> ControllerStats:
+        """Controller statistics summed over both devices."""
+        merged = ControllerStats()
+        for device in (self.fast, self.slow):
+            stats = device.merged_stats()
+            merged.served += stats.served
+            merged.reads += stats.reads
+            merged.writes += stats.writes
+            merged.row_hits += stats.row_hits
+            merged.total_latency_ps += stats.total_latency_ps
+            for kind in merged.latency_by_kind:
+                merged.latency_by_kind[kind] += stats.latency_by_kind[kind]
+                merged.count_by_kind[kind] += stats.count_by_kind[kind]
+        return merged
+
+
+class SingleLevelMemory:
+    """A one-technology memory covering the whole flat space.
+
+    Models the paper's 9 GB HBM-only upper bound (and the DDR-only
+    lower bound of Figure 10).  Capacity is padded up to the next power
+    of two above the flat space so the bit-sliced mapper applies; the
+    padding is never addressed.
+    """
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        timing: DramTiming = HBM_TIMING,
+        channels: Optional[int] = None,
+        window: int = 8,
+    ) -> None:
+        self.geometry = geometry
+        capacity = 1
+        while capacity < geometry.total_bytes:
+            capacity <<= 1
+        self.device = build_device(
+            f"{timing.name}-only",
+            timing,
+            capacity,
+            channels if channels is not None else geometry.fast_channels,
+            geometry,
+            window,
+        )
+
+    def access(
+        self,
+        address: int,
+        is_write: bool,
+        arrival_ps: int,
+        kind: int = DEMAND,
+        account_ps: Optional[int] = None,
+    ) -> None:
+        """Route one 64 B transaction (flat address = device offset)."""
+        if address >= self.geometry.total_bytes:
+            raise AddressError(
+                f"address {address:#x} outside the {self.geometry.total_bytes:#x}-byte flat space"
+            )
+        self.device.access(address, is_write, arrival_ps, kind, account_ps)
+
+    def flush(self) -> int:
+        """Drain every controller; return the latest completion seen."""
+        return self.device.flush()
+
+    def peak_bus_free_ps(self) -> int:
+        """Furthest-ahead bus timestamp (CPU-throttle input)."""
+        return max(ctrl.bus_free_ps for ctrl in self.device.controllers)
+
+    def merged_stats(self) -> ControllerStats:
+        """Controller statistics over the single device."""
+        return self.device.merged_stats()

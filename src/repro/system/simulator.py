@@ -1,0 +1,155 @@
+"""Trace-driven simulation top level.
+
+The simulator replays a :class:`~repro.trace.record.Trace` through a
+:class:`~repro.managers.base.MemoryManager`: each record is handed to
+the manager (which translates, tracks, migrates, and issues DRAM
+traffic), then the manager closes its final interval and the devices
+drain.  All timing lives in the manager + device layers; the simulator
+is deliberately a thin, obviously-correct loop.
+
+:func:`build_manager` is the configuration front door: it constructs
+the memory system and manager for a mechanism name, applying the
+Figure 10 "future technology" preset when asked.
+"""
+
+from __future__ import annotations
+
+from ..common.config import require_in
+from ..common.errors import ConfigError
+from ..common.units import ms
+from ..core.mempod import MemPodManager
+from ..dram.devices import (
+    DDR4_1600_TIMING,
+    DDR4_2400_TIMING,
+    HBM_OVERCLOCKED_TIMING,
+    HBM_TIMING,
+)
+from ..geometry import MemoryGeometry
+from ..managers import (
+    CameoManager,
+    HmaManager,
+    MemoryManager,
+    NoMigrationManager,
+    SingleLevelManager,
+    ThmManager,
+)
+from ..system.hybrid import HybridMemory, SingleLevelMemory
+from ..trace.record import Trace
+from .stats import SimulationResult, collect_result
+
+MANAGER_KINDS = (
+    "tlm",  # two-level memory, no migration (the normalisation baseline)
+    "mempod",
+    "hma",
+    "thm",
+    "cameo",
+    "hbm-only",
+    "ddr-only",
+)
+
+
+def build_manager(
+    kind: str,
+    geometry: MemoryGeometry,
+    future_tech: bool = False,
+    window: int = 8,
+    **params,
+) -> MemoryManager:
+    """Construct the memory system and manager for mechanism ``kind``.
+
+    ``future_tech`` selects the Section 6.3.4 parts (HBM at 4 GHz,
+    DDR4-2400); extra ``params`` are passed to the manager constructor
+    (e.g. ``interval_ps`` or ``cache_bytes`` for MemPod).
+    """
+    require_in("kind", kind, MANAGER_KINDS)
+    fast_timing = HBM_OVERCLOCKED_TIMING if future_tech else HBM_TIMING
+    slow_timing = DDR4_2400_TIMING if future_tech else DDR4_1600_TIMING
+
+    if kind == "hbm-only":
+        single = SingleLevelMemory(geometry, timing=fast_timing, window=window)
+        return SingleLevelManager(single, geometry)
+    if kind == "ddr-only":
+        single = SingleLevelMemory(
+            geometry, timing=slow_timing, channels=geometry.slow_channels, window=window
+        )
+        return SingleLevelManager(single, geometry)
+
+    memory = HybridMemory(
+        geometry, fast_timing=fast_timing, slow_timing=slow_timing, window=window
+    )
+    if kind == "tlm":
+        if params:
+            raise ConfigError(f"tlm takes no extra parameters, got {sorted(params)}")
+        return NoMigrationManager(memory, geometry)
+    if kind == "mempod":
+        return MemPodManager(memory, geometry, **params)
+    if kind == "hma":
+        if future_tech and "sort_penalty_ps" not in params:
+            # The paper reduces HMA's fixed penalty 7 ms -> 4.2 ms to model
+            # the faster future processor.
+            params["sort_penalty_ps"] = ms(4.2)
+        return HmaManager(memory, geometry, **params)
+    if kind == "thm":
+        return ThmManager(memory, geometry, **params)
+    return CameoManager(memory, geometry, **params)
+
+
+# CPU back-pressure defaults: how far the memory system may run behind
+# the request stream before the cores are considered fully stalled, and
+# how often the gap is sampled.
+DEFAULT_THROTTLE_CAP_PS = 1_000_000  # 1 us of backlog
+THROTTLE_SAMPLE_PERIOD = 128
+
+
+def simulate(
+    trace: Trace,
+    manager: MemoryManager,
+    throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
+) -> SimulationResult:
+    """Replay ``trace`` through ``manager`` and collect the result.
+
+    A trace is open-loop: its timestamps were recorded against *some*
+    memory system, and a mechanism slower than that system would
+    otherwise accumulate unbounded queues that no real machine exhibits
+    (cores stall once their MSHRs fill, throttling the miss stream).
+    Like Ramulator's simple CPU front-end, the replay approximates that
+    resource-induced stall: whenever the furthest-ahead channel runs
+    more than ``throttle_cap_ps`` past the current trace time, the
+    remaining trace is shifted forward by the excess — time the cores
+    spend stalled rather than issuing new misses.  ``throttle_cap_ps=0``
+    disables the throttle (pure open-loop replay).
+    """
+    handle = manager.handle
+    memory = manager.memory
+    last_ps = 0
+    offset_ps = 0
+    countdown = THROTTLE_SAMPLE_PERIOD
+    for arrival_ps, address, is_write, core in trace.records:
+        arrival_ps += offset_ps
+        handle(address, bool(is_write), arrival_ps, core)
+        last_ps = arrival_ps
+        if throttle_cap_ps:
+            countdown -= 1
+            if countdown == 0:
+                countdown = THROTTLE_SAMPLE_PERIOD
+                backlog = memory.peak_bus_free_ps() - arrival_ps
+                if backlog > throttle_cap_ps:
+                    offset_ps += backlog - throttle_cap_ps
+    end_ps = manager.finish(last_ps)
+    return collect_result(manager, trace, end_ps)
+
+
+def run(
+    trace: Trace,
+    kind: str,
+    geometry: MemoryGeometry,
+    future_tech: bool = False,
+    window: int = 8,
+    throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
+    **params,
+) -> SimulationResult:
+    """One-call convenience: build the manager and replay the trace."""
+    manager = build_manager(
+        kind, geometry, future_tech=future_tech, window=window, **params
+    )
+    return simulate(trace, manager, throttle_cap_ps=throttle_cap_ps)

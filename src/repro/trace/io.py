@@ -1,0 +1,111 @@
+"""Trace serialisation.
+
+Two formats:
+
+* a compact binary format (little-endian ``<QQBB`` records behind a
+  small header) for large traces that will be replayed many times, and
+* a human-readable text format (one ``arrival address w core`` line per
+  record) for debugging and hand-written fixtures.
+
+Both round-trip exactly; the binary header carries a magic, a version,
+the page size, and the record count so truncated or foreign files fail
+loudly instead of decoding garbage.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..common.errors import TraceError
+from .record import Trace
+
+MAGIC = b"MPTRACE1"
+_HEADER = struct.Struct("<8sIQQ")  # magic, version, page_bytes, record count
+_RECORD = struct.Struct("<qqBB")  # arrival_ps, address, is_write, core(+1)
+VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_binary(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the binary format."""
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, trace.page_bytes, len(trace.records)))
+        pack = _RECORD.pack
+        for arrival, address, is_write, core in trace.records:
+            handle.write(pack(arrival, address, is_write, core + 1))
+
+
+def load_binary(path: PathLike, name: str = "") -> Trace:
+    """Read a binary trace, validating header and length."""
+    raw = Path(path).read_bytes()
+    if len(raw) < _HEADER.size:
+        raise TraceError(f"{path}: file shorter than trace header")
+    magic, version, page_bytes, count = _HEADER.unpack_from(raw, 0)
+    if magic != MAGIC:
+        raise TraceError(f"{path}: bad magic {magic!r}; not a trace file")
+    if version != VERSION:
+        raise TraceError(f"{path}: unsupported trace version {version}")
+    expected = _HEADER.size + count * _RECORD.size
+    if len(raw) != expected:
+        raise TraceError(
+            f"{path}: expected {expected} bytes for {count} records, got {len(raw)}"
+        )
+    records: List[Tuple[int, int, int, int]] = []
+    offset = _HEADER.size
+    unpack = _RECORD.unpack_from
+    for _ in range(count):
+        arrival, address, is_write, core = unpack(raw, offset)
+        records.append((arrival, address, is_write, core - 1))
+        offset += _RECORD.size
+    return Trace(name=name or Path(path).stem, records=records, page_bytes=page_bytes)
+
+
+def save_text(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` as one ``arrival address w core`` line per record."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# mempod-trace v{VERSION} page_bytes={trace.page_bytes}\n")
+        for arrival, address, is_write, core in trace.records:
+            handle.write(f"{arrival} {address:#x} {is_write} {core}\n")
+
+
+def load_text(path: PathLike, name: str = "") -> Trace:
+    """Read the text format written by :func:`save_text`."""
+    page_bytes = None
+    records: List[Tuple[int, int, int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line.split():
+                    if token.startswith("page_bytes="):
+                        page_bytes = int(token.split("=", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceError(f"{path}:{line_no}: expected 4 fields, got {len(parts)}")
+            try:
+                arrival = int(parts[0])
+                address = int(parts[1], 0)
+                is_write = int(parts[2])
+                core = int(parts[3])
+            except ValueError as exc:
+                raise TraceError(f"{path}:{line_no}: {exc}") from exc
+            records.append((arrival, address, is_write, core))
+    if page_bytes is None:
+        raise TraceError(f"{path}: missing page_bytes header line")
+    return Trace(name=name or Path(path).stem, records=records, page_bytes=page_bytes)
+
+
+def dumps(trace: Trace) -> bytes:
+    """Binary-serialise to bytes (for tests and in-memory transport)."""
+    buffer = io.BytesIO()
+    buffer.write(_HEADER.pack(MAGIC, VERSION, trace.page_bytes, len(trace.records)))
+    for arrival, address, is_write, core in trace.records:
+        buffer.write(_RECORD.pack(arrival, address, is_write, core + 1))
+    return buffer.getvalue()

@@ -1,0 +1,408 @@
+"""Synthetic access-pattern primitives.
+
+These generators replace the paper's Sniper-captured SPEC2006 traces.
+Each produces an endless stream of ``(virtual_page, line, is_write)``
+accesses inside a private *virtual* page namespace; the interleaver
+(:mod:`repro.trace.interleave`) later maps virtual pages to flat
+physical addresses and assigns timestamps.
+
+The primitives expose exactly the behavioural axes the paper's results
+hinge on:
+
+* **footprint size** vs. fast-memory capacity (libquantum fits, bwaves
+  does not),
+* **skew** — how concentrated accesses are on a hot subset,
+* **temporal drift** — whether the hot set moves between intervals
+  (drift favours MEA's recency bias; stability favours Full Counters),
+* **streaming** — monotone sweeps where the *recently touched* pages,
+  not the *most counted* ones, predict the next interval.
+
+All randomness flows through an injected :class:`DeterministicRng`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from ..common.config import (
+    require_fraction,
+    require_positive_int,
+)
+from ..common.errors import ConfigError
+from ..common.rng import DeterministicRng
+from .record import LINES_PER_PAGE
+
+Access = Tuple[int, int, bool]  # (virtual_page, line_within_page, is_write)
+
+
+class AccessPattern(ABC):
+    """A stateful stream of virtual-page accesses.
+
+    Subclasses implement :meth:`next_access`; ``footprint_pages`` bounds
+    every virtual page index the pattern may emit.
+    """
+
+    def __init__(self, footprint_pages: int, write_fraction: float = 0.3) -> None:
+        require_positive_int("footprint_pages", footprint_pages)
+        require_fraction("write_fraction", write_fraction)
+        self.footprint_pages = footprint_pages
+        self.write_fraction = write_fraction
+
+    @abstractmethod
+    def next_access(self, rng: DeterministicRng) -> Access:
+        """Produce the next ``(page, line, is_write)`` access."""
+
+    def _is_write(self, rng: DeterministicRng) -> bool:
+        return rng.random() < self.write_fraction
+
+    def generate(self, count: int, rng: DeterministicRng) -> List[Access]:
+        """Materialise ``count`` accesses (mainly for tests/analysis)."""
+        return [self.next_access(rng) for _ in range(count)]
+
+
+class StreamPattern(AccessPattern):
+    """Sequential sweep: line after line, page after page, wrapping.
+
+    Models streaming benchmarks (bwaves, libquantum, lbm).  With a
+    footprint much larger than an interval's reach, the pages counted
+    hottest in one interval are *done with* by the next — the regime
+    where Full Counters predict nothing and MEA's recency bias wins.
+
+    ``lines_per_visit`` controls how many of a page's 32 lines are
+    touched before moving on (constant work per page, the lbm trait).
+
+    ``revisit_fraction`` / ``revisit_lag_pages`` model trailing re-use:
+    with the given probability an access goes to a page drawn uniformly
+    from the ``revisit_lag_pages`` pages behind the front instead of
+    advancing it.  Stencil codes like lbm keep touching a page for a
+    while after the front first reaches it, so a page's total work
+    spreads over roughly ``lag/front_speed`` worth of time — the
+    structure behind the paper's lbm observation that FC ranks pages
+    the program is *done with* while MEA retains in-progress pages
+    whose remaining accesses land in the next interval.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        write_fraction: float = 0.3,
+        lines_per_visit: int = LINES_PER_PAGE,
+        stride_pages: int = 1,
+        revisit_fraction: float = 0.0,
+        revisit_lag_pages: int = 0,
+    ) -> None:
+        super().__init__(footprint_pages, write_fraction)
+        require_positive_int("lines_per_visit", lines_per_visit)
+        require_positive_int("stride_pages", stride_pages)
+        require_fraction("revisit_fraction", revisit_fraction)
+        if lines_per_visit > LINES_PER_PAGE:
+            raise ConfigError(
+                f"lines_per_visit must be <= {LINES_PER_PAGE}, got {lines_per_visit}"
+            )
+        if revisit_fraction > 0 and revisit_lag_pages <= 0:
+            raise ConfigError("revisit_lag_pages must be positive when revisiting")
+        if revisit_lag_pages < 0:
+            raise ConfigError("revisit_lag_pages must be non-negative")
+        self.lines_per_visit = lines_per_visit
+        self.stride_pages = stride_pages
+        self.revisit_fraction = revisit_fraction
+        self.revisit_lag_pages = revisit_lag_pages
+        self._page = 0
+        self._line = 0
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        if self.revisit_fraction and rng.random() < self.revisit_fraction:
+            lag = rng.randint(1, self.revisit_lag_pages)
+            page = (self._page - lag) % self.footprint_pages
+            line = rng.randrange(LINES_PER_PAGE)
+            return (page, line, self._is_write(rng))
+        access = (self._page, self._line, self._is_write(rng))
+        self._line += 1
+        if self._line >= self.lines_per_visit:
+            self._line = 0
+            self._page = (self._page + self.stride_pages) % self.footprint_pages
+        return access
+
+
+class UniformPattern(AccessPattern):
+    """Uniform random page, random line: pointer-chasing with no reuse
+    locality (the mcf/gems trait)."""
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        page = rng.randrange(self.footprint_pages)
+        line = rng.randrange(LINES_PER_PAGE)
+        return (page, line, self._is_write(rng))
+
+
+class ZipfPattern(AccessPattern):
+    """Zipf-skewed page popularity with a stable ranking.
+
+    A *stable* skew is the Full-Counters-friendly regime (the cactus
+    trait): the same pages top the ranking interval after interval, so
+    accurate counting beats recency.  ``shuffle`` decorrelates the
+    popularity ranking from the virtual address order.
+
+    ``drift_period``/``drift_step`` rotate which page holds which rank
+    (rank *r* maps to permutation slot ``(r + base)``, with ``base``
+    advancing ``drift_step`` every ``drift_period`` accesses) — gradual
+    re-ranking without changing the footprint, the regime where MEA's
+    recency bias beats exact over-the-whole-interval counting.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        alpha: float = 1.1,
+        write_fraction: float = 0.3,
+        shuffle: bool = True,
+        drift_period: int = 0,
+        drift_step: int = 0,
+    ) -> None:
+        super().__init__(footprint_pages, write_fraction)
+        if alpha <= 0:
+            raise ConfigError(f"alpha must be positive, got {alpha!r}")
+        if drift_period < 0 or drift_step < 0:
+            raise ConfigError("drift_period and drift_step must be non-negative")
+        self.alpha = alpha
+        self.drift_period = drift_period
+        self.drift_step = drift_step
+        self._shuffle = shuffle
+        self._perm: List[int] = []
+        self._base = 0
+        self._since_drift = 0
+
+    def _permutation(self, rng: DeterministicRng) -> Sequence[int]:
+        if not self._perm:
+            pages = list(range(self.footprint_pages))
+            if self._shuffle:
+                rng.child("zipf-perm").shuffle(pages)
+            self._perm = pages
+        return self._perm
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        if self.drift_period:
+            self._since_drift += 1
+            if self._since_drift >= self.drift_period:
+                self._since_drift = 0
+                self._base = (self._base + self.drift_step) % self.footprint_pages
+        rank = rng.zipf_index(self.footprint_pages, self.alpha)
+        slot = (rank + self._base) % self.footprint_pages
+        page = self._permutation(rng)[slot]
+        line = rng.randrange(LINES_PER_PAGE)
+        return (page, line, self._is_write(rng))
+
+
+class HotColdPattern(AccessPattern):
+    """A hot subset absorbs ``hot_fraction`` of accesses; the rest go
+    uniformly to the cold remainder.
+
+    Accesses within the hot window are Zipf-skewed with exponent
+    ``hot_alpha`` (0 means uniform): the window's leading pages are the
+    hottest, so the interval's true top-10 is a strong, learnable
+    signal rather than Poisson noise over near-equals.
+
+    Two kinds of temporal churn, deliberately separable:
+
+    * ``drift_period``/``drift_step`` slide the hot *window* itself —
+      set churn.  Every window move forces a migration mechanism to
+      bring new pages into fast memory, so this knob directly controls
+      steady-state migration traffic.
+    * ``rotate_period``/``rotate_step`` rotate which window page holds
+      which Zipf *rank* — rank churn with zero set churn.  The interval
+      top-10 changes constantly (the regime where MEA's recency bias
+      out-predicts whole-interval counting, xalanc/omnetpp) while the
+      hot set, once migrated, stays resident.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        hot_pages: int,
+        hot_fraction: float = 0.9,
+        write_fraction: float = 0.3,
+        hot_alpha: float = 1.1,
+        drift_period: int = 0,
+        drift_step: int = 0,
+        rotate_period: int = 0,
+        rotate_step: int = 0,
+    ) -> None:
+        super().__init__(footprint_pages, write_fraction)
+        require_positive_int("hot_pages", hot_pages)
+        require_fraction("hot_fraction", hot_fraction)
+        if hot_pages > footprint_pages:
+            raise ConfigError(
+                f"hot_pages ({hot_pages}) exceeds footprint ({footprint_pages})"
+            )
+        if drift_period < 0 or drift_step < 0:
+            raise ConfigError("drift_period and drift_step must be non-negative")
+        if rotate_period < 0 or rotate_step < 0:
+            raise ConfigError("rotate_period and rotate_step must be non-negative")
+        if hot_alpha < 0:
+            raise ConfigError("hot_alpha must be non-negative")
+        self.hot_pages = hot_pages
+        self.hot_fraction = hot_fraction
+        self.hot_alpha = hot_alpha
+        self.drift_period = drift_period
+        self.drift_step = drift_step
+        self.rotate_period = rotate_period
+        self.rotate_step = rotate_step
+        self._hot_base = 0
+        self._since_drift = 0
+        self._rotation = 0
+        self._since_rotate = 0
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        if self.drift_period:
+            self._since_drift += 1
+            if self._since_drift >= self.drift_period:
+                self._since_drift = 0
+                self._hot_base = (self._hot_base + self.drift_step) % self.footprint_pages
+        if self.rotate_period:
+            self._since_rotate += 1
+            if self._since_rotate >= self.rotate_period:
+                self._since_rotate = 0
+                self._rotation = (self._rotation + self.rotate_step) % self.hot_pages
+        if rng.random() < self.hot_fraction:
+            if self.hot_alpha > 0 and self.hot_pages > 1:
+                rank = rng.zipf_index(self.hot_pages, self.hot_alpha)
+                offset = (rank + self._rotation) % self.hot_pages
+            else:
+                offset = rng.randrange(self.hot_pages)
+            page = (self._hot_base + offset) % self.footprint_pages
+        else:
+            cold_span = self.footprint_pages - self.hot_pages
+            if cold_span <= 0:
+                page = rng.randrange(self.footprint_pages)
+            else:
+                offset = rng.randrange(cold_span)
+                page = (self._hot_base + self.hot_pages + offset) % self.footprint_pages
+        line = rng.randrange(LINES_PER_PAGE)
+        return (page, line, self._is_write(rng))
+
+
+class WavefrontPattern(AccessPattern):
+    """A slowly advancing work zone with per-page intensity that tapers.
+
+    Models grid codes (lbm) where a page receives most of its work just
+    after the wavefront reaches it, tapering off as the front moves on:
+    accesses target the ``zone_pages`` behind the front with density
+    increasing linearly toward the *leading* (freshly reached) edge,
+    and the front advances one page every ``advance_period`` accesses.
+
+    The resulting tracker dynamics are the paper's lbm observation:
+    Full Counters' top pages of an interval are the ones that entered
+    early and accumulated peak-plus-taper — already fading by the next
+    interval (near-zero future hits) — while MEA's recency bias holds
+    the freshly entered pages, which collect their peak-plus-taper in
+    the *next* interval and top its ranking.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        write_fraction: float = 0.4,
+        zone_pages: int = 30,
+        advance_period: int = 40,
+    ) -> None:
+        super().__init__(footprint_pages, write_fraction)
+        require_positive_int("zone_pages", zone_pages)
+        require_positive_int("advance_period", advance_period)
+        if zone_pages > footprint_pages:
+            raise ConfigError(
+                f"zone_pages ({zone_pages}) exceeds footprint ({footprint_pages})"
+            )
+        self.zone_pages = zone_pages
+        self.advance_period = advance_period
+        self._front = zone_pages
+        self._since_advance = 0
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        self._since_advance += 1
+        if self._since_advance >= self.advance_period:
+            self._since_advance = 0
+            self._front = (self._front + 1) % self.footprint_pages
+        # sqrt draw => density rises linearly toward the leading edge,
+        # so freshly reached pages are hottest and work tapers off as
+        # the front departs.
+        depth = int(self.zone_pages * math.sqrt(rng.random()))
+        if depth >= self.zone_pages:
+            depth = self.zone_pages - 1
+        page = (self._front - self.zone_pages + depth) % self.footprint_pages
+        line = rng.randrange(LINES_PER_PAGE)
+        return (page, line, self._is_write(rng))
+
+
+class PhasedPattern(AccessPattern):
+    """Cycle through child patterns, switching every ``phase_length``
+    accesses (the gcc/astar multi-phase trait).
+
+    Children share one virtual namespace: each child is given a disjoint
+    base offset so distinct phases touch distinct page regions, which is
+    what makes phase changes visible to a migration mechanism.
+    """
+
+    def __init__(self, phases: Sequence[AccessPattern], phase_length: int) -> None:
+        if not phases:
+            raise ConfigError("PhasedPattern requires at least one phase")
+        require_positive_int("phase_length", phase_length)
+        self._bases: List[int] = []
+        total = 0
+        for pattern in phases:
+            self._bases.append(total)
+            total += pattern.footprint_pages
+        write_fraction = sum(p.write_fraction for p in phases) / len(phases)
+        super().__init__(total, write_fraction)
+        self.phases = list(phases)
+        self.phase_length = phase_length
+        self._current = 0
+        self._in_phase = 0
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        self._in_phase += 1
+        if self._in_phase > self.phase_length:
+            self._in_phase = 1
+            self._current = (self._current + 1) % len(self.phases)
+        page, line, is_write = self.phases[self._current].next_access(rng)
+        return (page + self._bases[self._current], line, is_write)
+
+
+class CompositePattern(AccessPattern):
+    """Probabilistic blend of child patterns over disjoint page regions.
+
+    Each access first picks a child with the given weights, then draws
+    from it.  Useful for benchmarks that mix a streaming component with
+    a resident hot structure (milc, soplex, zeusmp).
+    """
+
+    def __init__(self, parts: Sequence[AccessPattern], weights: Sequence[float]) -> None:
+        if not parts or len(parts) != len(weights):
+            raise ConfigError("CompositePattern needs matching parts and weights")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigError("weights must be non-negative and sum to > 0")
+        self._bases: List[int] = []
+        total = 0
+        for pattern in parts:
+            self._bases.append(total)
+            total += pattern.footprint_pages
+        write_fraction = sum(
+            p.write_fraction * w for p, w in zip(parts, weights)
+        ) / sum(weights)
+        super().__init__(total, write_fraction)
+        self.parts = list(parts)
+        norm = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / norm
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def next_access(self, rng: DeterministicRng) -> Access:
+        u = rng.random()
+        idx = 0
+        while self._cdf[idx] < u:
+            idx += 1
+        page, line, is_write = self.parts[idx].next_access(rng)
+        return (page + self._bases[idx], line, is_write)

@@ -1,0 +1,31 @@
+"""Activity tracking: MEA, Full Counters, competing counters, oracle study."""
+
+from .base import ActivityTracker
+from .competing import CompetingCounterArray
+from .full_counters import FullCountersTracker
+from .mea import MeaTracker
+from .oracle import (
+    PAPER_INTERVAL_REQUESTS,
+    PAPER_ORACLE_COUNTERS,
+    TIER_COUNT,
+    TIER_LABELS,
+    TIER_SIZE,
+    OracleResult,
+    average_results,
+    run_oracle_study,
+)
+
+__all__ = [
+    "ActivityTracker",
+    "CompetingCounterArray",
+    "FullCountersTracker",
+    "MeaTracker",
+    "OracleResult",
+    "PAPER_INTERVAL_REQUESTS",
+    "PAPER_ORACLE_COUNTERS",
+    "TIER_COUNT",
+    "TIER_LABELS",
+    "TIER_SIZE",
+    "average_results",
+    "run_oracle_study",
+]

@@ -1,0 +1,71 @@
+"""Consistency of shipped benchmark artefacts (when present).
+
+These tests validate whatever `benchmarks/results/` currently holds —
+they parse the emitted tables and check internal consistency, so a
+stale or hand-edited artefact fails loudly.  They skip cleanly when the
+benchmarks have not been run yet.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+
+
+def read_table(name):
+    path = RESULTS / f"{name}.txt"
+    if not path.exists():
+        pytest.skip(f"{name}.txt not generated yet (run the benchmarks)")
+    return path.read_text().splitlines()
+
+
+def parse_row(line):
+    parts = line.split()
+    return parts[0], [float(p) for p in parts[1:] if _is_float(p)]
+
+
+def _is_float(token):
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+class TestFig8Artefact:
+    def test_averages_match_rows(self):
+        lines = read_table("fig8_performance")
+        data_rows = {}
+        avg_all = None
+        for line in lines[3:]:
+            name, values = parse_row(line)
+            if name.startswith("AVG"):
+                if name == "AVG" or line.startswith("AVG ALL"):
+                    avg_all = [float(p) for p in line.split()[2:]]
+            elif values:
+                data_rows[name] = values
+        assert data_rows, "no workload rows parsed"
+        if avg_all:
+            n_cols = len(next(iter(data_rows.values())))
+            for col in range(n_cols):
+                mean = sum(v[col] for v in data_rows.values()) / len(data_rows)
+                assert mean == pytest.approx(avg_all[col], abs=0.005)
+
+    def test_hbm_only_below_one_everywhere(self):
+        lines = read_table("fig8_performance")
+        header = lines[1].split()
+        col = header.index("hbm-only") - 1  # minus the workload column
+        for line in lines[3:]:
+            name, values = parse_row(line)
+            if values and not name.startswith("AVG"):
+                assert values[col] < 1.0, f"{name}: hbm-only {values[col]}"
+
+
+class TestTable1Artefact:
+    def test_mea_storage_headline(self):
+        lines = read_table("table1_costs")
+        mempod_line = next(l for l in lines if l.startswith("MemPod"))
+        assert "736 B" in mempod_line
+        hma_line = next(l for l in lines if l.startswith("HMA"))
+        assert "9 MB" in hma_line

@@ -1,0 +1,79 @@
+"""CLI: argument plumbing and command output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+SMALL = ["--scale", "64", "--length", "8000", "--seed", "3"]
+
+
+class TestList:
+    def test_lists_workloads_and_mechanisms(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "mix12" in out
+        assert "mempod" in out
+        assert "fig8" in out
+
+
+class TestProfile:
+    def test_profiles_named_workloads(self, capsys):
+        out = run_cli(capsys, *SMALL, "profile", "cactus", "gems")
+        assert "cactus" in out
+        assert "gems" in out
+        assert "churn" in out
+
+
+class TestRun:
+    def test_run_reports_all_mechanisms(self, capsys):
+        out = run_cli(
+            capsys, *SMALL, "run", "xalanc", "--mechanisms", "tlm,hbm-only"
+        )
+        assert "tlm" in out
+        assert "hbm-only" in out
+        assert "AMMAT" in out
+
+
+class TestArtefacts:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "MemPod" in out
+        assert "736 B" in out  # the MEA storage headline
+        assert "Table 1" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2")
+        assert "7-7-7-17" in out
+
+    def test_table3(self, capsys):
+        out = run_cli(capsys, "table3")
+        assert "libquantum" in out
+
+    def test_fig1_small(self, capsys):
+        out = run_cli(capsys, *SMALL, "--workloads", "cactus", "fig1")
+        assert "Figure 1" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["transmogrify"])
+
+    def test_workload_subset_flag(self, capsys):
+        out = run_cli(
+            capsys, *SMALL, "--workloads", "cactus", "fig2"
+        )
+        assert "cactus" in out
+        assert "mix1" not in out
+
+
+class TestEnergy:
+    def test_energy_table(self, capsys):
+        out = run_cli(capsys, *SMALL, "energy", "xalanc")
+        assert "mempod" in out
+        assert "uJ" in out

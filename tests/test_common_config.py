@@ -1,0 +1,85 @@
+"""Config validators: exact accept/reject boundaries."""
+
+import pytest
+
+from repro.common import config
+from repro.common.errors import ConfigError
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        config.require_positive("x", 1)
+        config.require_positive("x", 0.5)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5, "3", None, True])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigError):
+            config.require_positive("x", value)
+
+
+class TestRequirePositiveInt:
+    def test_accepts(self):
+        config.require_positive_int("x", 7)
+
+    @pytest.mark.parametrize("value", [0, -3, 1.5, "4", True, None])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigError):
+            config.require_positive_int("x", value)
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        config.require_non_negative_int("x", 0)
+
+    @pytest.mark.parametrize("value", [-1, 0.0, True])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigError):
+            config.require_non_negative_int("x", value)
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 64, 1 << 30])
+    def test_accepts(self, value):
+        config.require_power_of_two("x", value)
+
+    @pytest.mark.parametrize("value", [0, 3, 12, -8])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigError):
+            config.require_power_of_two("x", value)
+
+
+class TestRequireFraction:
+    @pytest.mark.parametrize("value", [0, 0.5, 1, 1.0])
+    def test_accepts(self, value):
+        config.require_fraction("x", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, "half", True])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigError):
+            config.require_fraction("x", value)
+
+
+class TestRequireMultiple:
+    def test_accepts_exact_multiple(self):
+        config.require_multiple("x", 12, "y", 4)
+
+    def test_rejects_remainder(self):
+        with pytest.raises(ConfigError):
+            config.require_multiple("x", 13, "y", 4)
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ConfigError):
+            config.require_multiple("x", 12, "y", 0)
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        config.require_in("x", "a", ("a", "b"))
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigError):
+            config.require_in("x", "c", ("a", "b"))
+
+    def test_error_message_names_field(self):
+        with pytest.raises(ConfigError, match="mode"):
+            config.require_in("mode", "c", ("a", "b"))

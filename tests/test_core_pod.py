@@ -1,0 +1,109 @@
+"""Pod behaviour: planning, eviction scan, storage."""
+
+import pytest
+
+from repro.core.datapath import MigrationEngine
+from repro.core.pod import Pod
+from repro.geometry import scaled_geometry
+from repro.system.hybrid import HybridMemory
+
+
+@pytest.fixture
+def geometry():
+    return scaled_geometry(64)
+
+
+@pytest.fixture
+def pod(geometry):
+    memory = HybridMemory(geometry)
+    engine = MigrationEngine(memory, geometry)
+    return Pod(0, geometry, engine, mea_counters=8, mea_counter_bits=4)
+
+
+def slow_page(geometry, pod_id, slot):
+    return geometry.pod_slow_slot_to_page(pod_id, slot)
+
+
+def fast_page(geometry, pod_id, slot):
+    return geometry.pod_fast_slot_to_page(pod_id, slot)
+
+
+class TestPlanning:
+    def test_hot_slow_page_planned_for_migration(self, pod, geometry):
+        hot = slow_page(geometry, 0, 0)
+        for _ in range(5):
+            pod.observe(hot)
+        plans = pod.plan_interval(at_ps=0)
+        assert len(plans) == 1
+        victim, frame = plans[0]
+        assert frame == hot  # identity before any migration
+        assert victim < geometry.fast_pages
+        assert geometry.fast_page_pod(victim) == 0  # intra-pod only
+
+    def test_fast_resident_hot_page_ignored(self, pod, geometry):
+        hot_fast = fast_page(geometry, 0, 3)
+        for _ in range(5):
+            pod.observe(hot_fast)
+        assert pod.plan_interval(at_ps=0) == []
+
+    def test_mea_reset_after_interval(self, pod, geometry):
+        pod.observe(slow_page(geometry, 0, 0))
+        pod.plan_interval(at_ps=0)
+        assert len(pod.mea) == 0
+
+    def test_min_count_filters_single_touches(self, pod, geometry):
+        pod.observe(slow_page(geometry, 0, 0))  # touched once: below min_count=2
+        assert pod.plan_interval(at_ps=0) == []
+
+    def test_plans_are_frame_disjoint(self, pod, geometry):
+        for slot in range(6):
+            page = slow_page(geometry, 0, slot)
+            for _ in range(3):
+                pod.observe(page)
+        plans = pod.plan_interval(at_ps=0)
+        frames = [f for pair in plans for f in pair]
+        assert len(frames) == len(set(frames))
+
+    def test_interval_counters(self, pod, geometry):
+        pod.plan_interval(at_ps=0)
+        pod.plan_interval(at_ps=1)
+        assert pod.intervals == 2
+
+
+class TestEvictionScan:
+    def test_scan_skips_hot_residents(self, pod, geometry):
+        # Make the resident of the pod's first fast slot hot, then ask
+        # for a victim: the scan must skip slot 0.
+        protected = fast_page(geometry, 0, 0)
+        for _ in range(5):
+            pod.observe(protected)
+        hot_slow = slow_page(geometry, 0, 0)
+        for _ in range(5):
+            pod.observe(hot_slow)
+        plans = pod.plan_interval(at_ps=0)
+        migrating = {victim for victim, _ in plans}
+        assert protected not in migrating
+
+    def test_scan_resumes_where_it_left_off(self, pod, geometry):
+        first_hot = slow_page(geometry, 0, 0)
+        for _ in range(5):
+            pod.observe(first_hot)
+        first_victim = pod.plan_interval(at_ps=0)[0][0]
+
+        second_hot = slow_page(geometry, 0, 1)
+        for _ in range(5):
+            pod.observe(second_hot)
+        second_victim = pod.plan_interval(at_ps=1)[0][0]
+        assert second_victim != first_victim
+
+
+class TestStorage:
+    def test_tag_bits_sized_for_pod(self, pod, geometry):
+        expected_tag = (geometry.pages_per_pod - 1).bit_length()
+        assert pod.mea.tag_bits == expected_tag
+
+    def test_storage_bits_reported(self, pod, geometry):
+        bits = pod.storage_bits()
+        entry_bits = (geometry.pages_per_pod - 1).bit_length()
+        assert bits["remap_bits"] == geometry.pages_per_pod * entry_bits
+        assert bits["tracking_bits"] == pod.mea.storage_bits()

@@ -1,0 +1,92 @@
+"""Address mapper: bijectivity, striping, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AddressError
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.common.units import gib, mib
+
+
+def hbm_mapper():
+    return AddressMapper(
+        capacity_bytes=gib(1), channels=8, ranks=1, banks=16, row_bytes=8192
+    )
+
+
+class TestDecode:
+    def test_offset_zero(self):
+        decoded = hbm_mapper().decode(0)
+        assert decoded == DecodedAddress(channel=0, rank=0, bank=0, row=0, column=0)
+
+    def test_column_within_row(self):
+        decoded = hbm_mapper().decode(4096)
+        assert decoded.column == 4096
+        assert decoded.bank == 0
+
+    def test_bank_stripe_at_row_granularity(self):
+        # Consecutive 8 KB rows go to consecutive banks.
+        mapper = hbm_mapper()
+        assert mapper.decode(8192).bank == 1
+        assert mapper.decode(2 * 8192).bank == 2
+
+    def test_channel_stripe_after_banks(self):
+        mapper = hbm_mapper()
+        per_channel = 8192 * 16  # row_bytes * banks
+        assert mapper.decode(per_channel).channel == 1
+        assert mapper.decode(3 * per_channel).channel == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            hbm_mapper().decode(gib(1))
+        with pytest.raises(AddressError):
+            hbm_mapper().decode(-1)
+
+    def test_rows_per_bank(self):
+        # 1 GiB / (8 ch * 16 banks * 8 KiB rows) = 1024 rows per bank.
+        assert hbm_mapper().rows_per_bank == 1024
+
+
+class TestRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=gib(1) - 1))
+    def test_decode_encode_roundtrip(self, offset):
+        mapper = hbm_mapper()
+        assert mapper.encode(mapper.decode(offset)) == offset
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=mib(256) - 1))
+    def test_fast_decode_agrees_with_decode(self, offset):
+        mapper = AddressMapper(
+            capacity_bytes=mib(256), channels=4, ranks=1, banks=16, row_bytes=8192
+        )
+        decoded = mapper.decode(offset)
+        channel, flat_bank, row = mapper.fast_decode(offset)
+        assert channel == decoded.channel
+        assert flat_bank == decoded.rank * mapper.banks + decoded.bank
+        assert row == decoded.row
+
+
+class TestMultiRank:
+    def test_rank_decomposition(self):
+        mapper = AddressMapper(
+            capacity_bytes=gib(1), channels=4, ranks=2, banks=16, row_bytes=8192
+        )
+        # Flat bank 16 is rank 1, bank 0.
+        offset = 16 * 8192
+        decoded = mapper.decode(offset)
+        assert (decoded.rank, decoded.bank) == (1, 0)
+        assert mapper.encode(decoded) == offset
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_channels(self):
+        with pytest.raises(Exception):
+            AddressMapper(gib(1), channels=3, ranks=1, banks=16, row_bytes=8192)
+
+    def test_rejects_indivisible_capacity(self):
+        with pytest.raises(Exception):
+            AddressMapper(
+                capacity_bytes=gib(1) + 8192, channels=8, ranks=1, banks=16, row_bytes=8192
+            )

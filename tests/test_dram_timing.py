@@ -1,0 +1,91 @@
+"""DRAM timing parameters: derived picosecond quantities and scaling."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dram import DDR4_1600_TIMING, DDR4_2400_TIMING, HBM_OVERCLOCKED_TIMING, HBM_TIMING
+from repro.dram.timing import DramTiming
+
+
+class TestHbmPreset:
+    def test_cycle_is_1ns(self):
+        assert HBM_TIMING.cycle_ps == 1000
+
+    def test_table2_latencies(self):
+        assert HBM_TIMING.tcas_ps == 7_000
+        assert HBM_TIMING.trcd_ps == 7_000
+        assert HBM_TIMING.trp_ps == 7_000
+        assert HBM_TIMING.tras_ps == 17_000
+
+    def test_burst_64b_on_128bit_sdr(self):
+        # 128-bit SDR moves 16 B per cycle: 64 B needs 4 cycles.
+        assert HBM_TIMING.burst_ps(64) == 4_000
+
+
+class TestDdr4Preset:
+    def test_cycle_is_1250ps(self):
+        assert DDR4_1600_TIMING.cycle_ps == 1250
+
+    def test_table2_latencies(self):
+        assert DDR4_1600_TIMING.tcas_ps == 13_750
+        assert DDR4_1600_TIMING.tras_ps == 35_000
+
+    def test_burst_64b_on_64bit_ddr(self):
+        # 64-bit DDR moves 16 B per cycle: 64 B needs 4 cycles = 5 ns.
+        assert DDR4_1600_TIMING.burst_ps(64) == 5_000
+
+    def test_refresh_enabled(self):
+        assert DDR4_1600_TIMING.trefi_ps > 0
+        assert DDR4_1600_TIMING.trfc_ps > 0
+
+
+class TestScaling:
+    def test_overclocked_hbm_4x_faster(self):
+        assert HBM_OVERCLOCKED_TIMING.tcas_ps * 4 == HBM_TIMING.tcas_ps
+
+    def test_ddr4_2400_1_5x_faster(self):
+        # 833 ps vs 1250 ps (1.5x, within integer-ps rounding).
+        assert DDR4_2400_TIMING.cycle_ps * 3 == pytest.approx(
+            DDR4_1600_TIMING.cycle_ps * 2, abs=3
+        )
+
+    def test_scaling_preserves_core_cycle_counts(self):
+        assert HBM_OVERCLOCKED_TIMING.tcas == HBM_TIMING.tcas
+        assert HBM_OVERCLOCKED_TIMING.turnaround == HBM_TIMING.turnaround
+
+    def test_scaling_preserves_wall_clock_refresh(self):
+        # Retention is physical: tREFI/tRFC keep their absolute duration.
+        assert HBM_OVERCLOCKED_TIMING.trefi_ps == pytest.approx(
+            HBM_TIMING.trefi_ps, rel=0.01
+        )
+        assert HBM_OVERCLOCKED_TIMING.trfc_ps == pytest.approx(
+            HBM_TIMING.trfc_ps, rel=0.01
+        )
+
+    def test_latency_ratio_widens(self):
+        # The Section 6.3.4 premise: the fast:slow latency ratio grows.
+        ratio_now = DDR4_1600_TIMING.tcas_ps / HBM_TIMING.tcas_ps
+        ratio_future = DDR4_2400_TIMING.tcas_ps / HBM_OVERCLOCKED_TIMING.tcas_ps
+        assert ratio_future > ratio_now
+
+
+class TestValidation:
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigError):
+            DramTiming("x", 0, 64, 2, 1, 1, 1, 1)
+
+    def test_rejects_zero_tcas(self):
+        with pytest.raises(ConfigError):
+            DramTiming("x", 1e9, 64, 2, 0, 1, 1, 1)
+
+    def test_rejects_negative_turnaround(self):
+        with pytest.raises(ConfigError):
+            DramTiming("x", 1e9, 64, 2, 1, 1, 1, 1, turnaround=-1)
+
+    def test_rejects_refresh_without_trfc(self):
+        with pytest.raises(ConfigError):
+            DramTiming("x", 1e9, 64, 2, 1, 1, 1, 1, trefi=100, trfc=0)
+
+    def test_burst_rounds_up_to_whole_cycles(self):
+        timing = DramTiming("x", 1e9, 256, 1, 1, 1, 1, 1)  # 32 B/cycle
+        assert timing.burst_ps(33) == 2 * timing.cycle_ps

@@ -1,0 +1,136 @@
+"""Experiment drivers: small-scale shape and plumbing checks."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    compute_table1,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_comparison,
+    run_fig10,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_oracle_figures,
+    table2_entries,
+    tracking_reduction_vs_hma,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    # Deliberately tiny: these tests exercise plumbing, not shapes.
+    return ExperimentConfig(scale=64, length=15_000, seed=2, workloads=("xalanc", "cactus"))
+
+
+class TestConfig:
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "64")
+        monkeypatch.setenv("REPRO_LENGTH", "1000")
+        monkeypatch.setenv("REPRO_SEED", "7")
+        monkeypatch.setenv("REPRO_WORKLOADS", "lbm, mix2")
+        config = ExperimentConfig.from_env()
+        assert config.scale == 64
+        assert config.length == 1000
+        assert config.seed == 7
+        assert config.workloads == ("lbm", "mix2")
+
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_SCALE", "REPRO_LENGTH", "REPRO_SEED", "REPRO_WORKLOADS"):
+            monkeypatch.delenv(var, raising=False)
+        config = ExperimentConfig.from_env()
+        assert config.scale == 32
+        assert config.workloads == ()
+        assert len(config.workload_list()) == 27
+
+    def test_workload_subset_wins(self):
+        config = ExperimentConfig(workloads=("lbm",))
+        assert config.workload_list(default=["mcf"]) == ["lbm"]
+
+    def test_caller_default_used(self):
+        config = ExperimentConfig()
+        assert config.workload_list(default=["mcf"]) == ["mcf"]
+
+
+class TestOracleDriver:
+    def test_produces_all_groups(self, tiny_config):
+        figures = run_oracle_figures(tiny_config)
+        assert set(figures.per_workload) == {"xalanc", "cactus"}
+        assert figures.avg_all.intervals > 0
+        # Renderers produce non-empty tables.
+        assert "Figure 1" in figures.format_fig1()
+        assert "Figure 2" in figures.format_fig2()
+        assert "cactus" in figures.format_fig3()
+
+
+class TestComparisonDriver:
+    def test_normalisation_against_tlm(self, tiny_config):
+        result = run_comparison(tiny_config, mechanisms=("hbm-only",))
+        for row in result.normalized.values():
+            assert row["hbm-only"] < 1.0
+        assert "Figure 8" in result.format_table()
+
+    def test_average_over_group(self, tiny_config):
+        result = run_comparison(tiny_config, mechanisms=("hbm-only",))
+        avg = result.average("hbm-only")
+        values = [row["hbm-only"] for row in result.normalized.values()]
+        assert avg == pytest.approx(sum(values) / len(values))
+
+
+class TestDesignSpaceDrivers:
+    def test_fig6_grid_complete(self, tiny_config):
+        result = run_fig6(
+            tiny_config, epochs_us=(50, 100), counters=(16, 64), workloads=("xalanc",)
+        )
+        assert set(result.ammat_ns) == {(50, 16), (50, 64), (100, 16), (100, 64)}
+        assert result.best_cell() in result.ammat_ns
+        assert "Figure 6" in result.format_table()
+
+    def test_fig7_normalisation(self, tiny_config):
+        result = run_fig7(
+            tiny_config, epoch_us=50, counters=16, bits=(2, 8), workloads=("xalanc",)
+        )
+        assert result.normalized()[2] == pytest.approx(1.0)
+        assert 8 in result.migrations_per_pod_interval
+        assert "Figure 7" in result.format_table()
+
+
+class TestCacheDriver:
+    def test_fig9_structure(self, tiny_config):
+        result = run_fig9(
+            tiny_config, sizes_kib=(16,), mechanisms=("mempod",), workloads=("xalanc",)
+        )
+        assert 16 in result.normalized["mempod"]
+        assert result.uncached["mempod"] > 0
+        assert "Figure 9" in result.format_table()
+
+
+class TestScalabilityDriver:
+    def test_fig10_structure(self, tiny_config):
+        result = run_fig10(
+            tiny_config, mechanisms=("tlm", "hbm-only"), workloads=("xalanc",)
+        )
+        assert result.normalized["xalanc"]["tlm"] < 1.0  # hybrid beats slow-only
+        assert result.average("hbm-only") < result.average("tlm")
+        assert "Figure 10" in result.format_table()
+
+
+class TestTables:
+    def test_table1_headline_costs(self):
+        rows = compute_table1()
+        by_name = {r.mechanism: r for r in rows}
+        assert by_name["MemPod"].tracking_bytes == 736
+        assert 12000 < tracking_reduction_vs_hma(rows) < 13500
+        assert "Table 1" in format_table1(rows)
+
+    def test_table2_echoes_presets(self):
+        entries = table2_entries()
+        assert entries["HBM"]["tCAS-tRCD-tRP-tRAS"] == "7-7-7-17"
+        assert "Table 2" in format_table2()
+
+    def test_table3_renders(self):
+        text = format_table3()
+        assert "mix12" in text
+        assert "x2" in text  # at least one double membership

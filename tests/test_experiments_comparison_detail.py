@@ -1,0 +1,64 @@
+"""Comparison-driver details: traffic accounting, caching plumbing."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.experiments.comparison import ComparisonResult
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=64, length=12_000, seed=4, workloads=("xalanc",))
+
+
+class TestTrafficAccounting:
+    def test_bytes_moved_summed_from_raw(self, config):
+        result = run_comparison(config, mechanisms=("mempod", "thm"))
+        for mechanism in ("mempod", "thm"):
+            expected = sum(r[mechanism].bytes_moved for r in result.raw.values())
+            assert result.bytes_moved(mechanism) == expected
+
+    def test_traffic_table_renders(self, config):
+        result = run_comparison(config, mechanisms=("mempod",))
+        text = result.format_traffic()
+        assert "mempod" in text
+        assert "MB" in text
+
+
+class TestCachedComparison:
+    def test_cache_bytes_reaches_managers(self, config):
+        free = run_comparison(config, mechanisms=("mempod",))
+        cached = run_comparison(config, mechanisms=("mempod",), cache_bytes=8192)
+        # The cached run must register remap-cache activity.
+        cached_result = cached.raw["xalanc"]["mempod"]
+        assert cached_result.extras.get("cache_miss_rate", 0.0) > 0.0
+        free_result = free.raw["xalanc"]["mempod"]
+        assert free_result.extras.get("cache_miss_rate", 1.0) == 0.0
+
+    def test_cache_never_helps(self, config):
+        free = run_comparison(config, mechanisms=("mempod",))
+        cached = run_comparison(config, mechanisms=("mempod",), cache_bytes=8192)
+        assert (
+            cached.normalized["xalanc"]["mempod"]
+            >= free.normalized["xalanc"]["mempod"] - 0.02
+        )
+
+
+class TestResultContainer:
+    def test_empty_average(self):
+        result = ComparisonResult(mechanisms=("mempod",))
+        assert result.average("mempod") == 0.0
+
+    def test_workloads_preserve_order(self, config):
+        result = run_comparison(config, mechanisms=("hbm-only",))
+        assert result.workloads() == ["xalanc"]
+
+    def test_future_tech_flag(self, config):
+        now = run_comparison(config, mechanisms=("hbm-only",))
+        future = run_comparison(config, mechanisms=("hbm-only",), future_tech=True)
+        # Both normalised to their own TLM; the future machine's
+        # fast:slow ratio is wider, so HBM-only gains more.
+        assert (
+            future.normalized["xalanc"]["hbm-only"]
+            < now.normalized["xalanc"]["hbm-only"]
+        )

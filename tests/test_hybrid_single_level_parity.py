@@ -1,0 +1,61 @@
+"""Cross-configuration sanity: hybrid vs single-level relationships."""
+
+import pytest
+
+from repro import build_trace, get_workload, run, scaled_geometry
+from repro.trace.interleave import build_trace as build
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return scaled_geometry(64)
+
+
+@pytest.fixture(scope="module")
+def trace(geometry):
+    return build_trace(get_workload("mix5"), geometry, length=20_000, seed=13).trace
+
+
+class TestOrderings:
+    """Relationships that must hold regardless of tuning."""
+
+    def test_hbm_only_fastest(self, geometry, trace):
+        results = {
+            kind: run(trace, kind, geometry).ammat_ns
+            for kind in ("hbm-only", "tlm", "ddr-only")
+        }
+        assert results["hbm-only"] < results["tlm"] < results["ddr-only"]
+
+    def test_placement_matters_for_tlm(self, geometry):
+        # Fast-first placement clearly beats placements that leave the
+        # working set (mostly) in slow memory.  Note spread vs slow_only
+        # is NOT monotone in fast share: the slow_only bump allocator
+        # co-locates pages within rows, buying row-buffer hits that can
+        # outweigh its zero fast-memory share.
+        spec = get_workload("cactus")
+        spread = build(spec, geometry, length=20_000, seed=13, placement="spread").trace
+        slow_only = build(spec, geometry, length=20_000, seed=13, placement="slow_only").trace
+        fast_first = build(spec, geometry, length=20_000, seed=13, placement="sequential").trace
+        sequential_ns = run(fast_first, "tlm", geometry).ammat_ns
+        assert sequential_ns < run(spread, "tlm", geometry).ammat_ns
+        assert sequential_ns < run(slow_only, "tlm", geometry).ammat_ns
+
+    def test_migration_closes_gap_to_hbm_only(self, geometry):
+        # MemPod must land between the no-migration TLM and the HBM-only
+        # bound for a migration-friendly workload.
+        spec = get_workload("cactus")
+        trace = build(spec, geometry, length=40_000, seed=13).trace
+        tlm = run(trace, "tlm", geometry).ammat_ns
+        mempod = run(trace, "mempod", geometry).ammat_ns
+        hbm = run(trace, "hbm-only", geometry).ammat_ns
+        assert hbm < mempod < tlm
+
+    def test_sequential_placement_leaves_nothing_to_migrate(self, geometry):
+        # With the whole working set already fast, migration cannot
+        # help; MemPod must track the TLM baseline closely (it still
+        # pays small MEA-noise migration costs, nothing more).
+        spec = get_workload("cactus")
+        trace = build(spec, geometry, length=20_000, seed=13, placement="sequential").trace
+        tlm = run(trace, "tlm", geometry).ammat_ns
+        mempod = run(trace, "mempod", geometry).ammat_ns
+        assert mempod == pytest.approx(tlm, rel=0.1)

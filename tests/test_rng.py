@@ -1,0 +1,98 @@
+"""Deterministic RNG: reproducibility, independence, zipf correctness."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random() for _ in range(50)] == [b.random() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_child_streams_are_independent_of_sibling_creation(self):
+        # Adding a new consumer must not perturb an existing stream.
+        root1 = DeterministicRng(7)
+        stream1 = root1.child("alpha")
+        values1 = [stream1.random() for _ in range(20)]
+
+        root2 = DeterministicRng(7)
+        _ = root2.child("beta")  # new sibling created first
+        stream2 = root2.child("alpha")
+        values2 = [stream2.random() for _ in range(20)]
+        assert values1 == values2
+
+    def test_children_with_different_labels_differ(self):
+        root = DeterministicRng(7)
+        a = root.child("a")
+        b = root.child("b")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_nested_children(self):
+        root = DeterministicRng(7)
+        nested = root.child("x").child("y")
+        again = DeterministicRng(7).child("x").child("y")
+        assert nested.random() == again.random()
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(3)
+        values = [rng.randint(2, 5) for _ in range(200)]
+        assert set(values) <= {2, 3, 4, 5}
+        assert set(values) == {2, 3, 4, 5}  # all values reachable
+
+    def test_randrange_bounds(self):
+        rng = DeterministicRng(3)
+        assert all(0 <= rng.randrange(8) < 8 for _ in range(200))
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(3)
+        pool = list(range(10))
+        assert rng.choice(pool) in pool
+        sample = rng.sample(pool, 4)
+        assert len(sample) == 4
+        assert len(set(sample)) == 4
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(32))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRng(3)
+        assert all(rng.expovariate(1.0) >= 0 for _ in range(100))
+
+
+class TestZipf:
+    def test_zipf_in_range(self):
+        rng = DeterministicRng(11)
+        assert all(0 <= rng.zipf_index(100, 1.1) < 100 for _ in range(500))
+
+    def test_zipf_rank_zero_most_popular(self):
+        rng = DeterministicRng(11)
+        counts = [0] * 50
+        for _ in range(20000):
+            counts[rng.zipf_index(50, 1.2)] += 1
+        # Rank 0 clearly beats rank 10 and rank 40 under alpha=1.2.
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_zipf_head_share_matches_theory(self):
+        rng = DeterministicRng(11)
+        n, alpha, draws = 100, 1.0, 30000
+        hits = sum(1 for _ in range(draws) if rng.zipf_index(n, alpha) == 0)
+        harmonic = sum(1.0 / (i + 1) ** alpha for i in range(n))
+        expected = draws / harmonic
+        assert hits == pytest.approx(expected, rel=0.15)
+
+    def test_single_element(self):
+        rng = DeterministicRng(11)
+        assert rng.zipf_index(1, 1.5) == 0

@@ -1,0 +1,88 @@
+"""Energy model: constants, proportionality, the pod-locality argument."""
+
+import pytest
+
+from repro import build_manager, build_trace, get_workload, scaled_geometry, simulate
+from repro.common.errors import ConfigError
+from repro.system.energy import EnergyModel, EnergyParams, report_for
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return scaled_geometry(64)
+
+
+@pytest.fixture(scope="module")
+def model(geometry):
+    return EnergyModel(geometry)
+
+
+class TestModel:
+    def test_demand_energy_proportional_to_traffic(self, model):
+        one = model.demand_energy_uj(fast_served=100, slow_served=0)
+        two = model.demand_energy_uj(fast_served=200, slow_served=0)
+        assert two == pytest.approx(2 * one)
+
+    def test_slow_accesses_cost_more(self, model):
+        fast = model.demand_energy_uj(fast_served=1000, slow_served=0)
+        slow = model.demand_energy_uj(fast_served=0, slow_served=1000)
+        assert slow == pytest.approx(5 * fast)  # 20 vs 4 pJ/bit
+
+    def test_pod_local_interconnect_cheaper(self, model):
+        _, local = model.migration_energy_uj(page_swaps=10, pod_local=True)
+        _, global_ = model.migration_energy_uj(page_swaps=10, pod_local=False)
+        assert global_ == pytest.approx(4 * local)  # 2.0 vs 0.5 pJ/bit
+
+    def test_memory_term_independent_of_locality(self, model):
+        mem_local, _ = model.migration_energy_uj(page_swaps=10, pod_local=True)
+        mem_global, _ = model.migration_energy_uj(page_swaps=10, pod_local=False)
+        assert mem_local == mem_global
+
+    def test_line_swaps_much_cheaper_than_page_swaps(self, model):
+        page_mem, _ = model.migration_energy_uj(page_swaps=1, pod_local=True)
+        line_mem, _ = model.migration_energy_uj(
+            page_swaps=0, pod_local=True, line_swaps=1
+        )
+        # One page swap moves 32 lines each way: 32x the energy.
+        assert page_mem == pytest.approx(32 * line_mem)
+
+    def test_report_totals(self, model):
+        report = model.report(
+            fast_served=100, slow_served=100, page_swaps=5, pod_local=True
+        )
+        assert report.total_uj == pytest.approx(
+            report.demand_uj + report.migration_memory_uj + report.migration_interconnect_uj
+        )
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(fast_pj_per_bit=0)
+
+
+class TestReportFor:
+    def test_mempod_is_pod_local(self, geometry):
+        trace = build_trace(get_workload("xalanc"), geometry, length=25_000, seed=6).trace
+        mempod = build_manager("mempod", geometry)
+        thm = build_manager("thm", geometry)
+        simulate(trace, mempod)
+        simulate(trace, thm)
+        mempod_report = report_for(mempod)
+        thm_report = report_for(thm)
+        assert mempod_report.migration_uj > 0
+        assert thm_report.migration_uj > 0
+        # Per byte moved, MemPod's interconnect cost is the cheap hop.
+        mp_per_byte = (
+            mempod_report.migration_interconnect_uj / mempod.migration_stats.bytes_moved
+        )
+        thm_per_byte = (
+            thm_report.migration_interconnect_uj / thm.migration_stats.bytes_moved
+        )
+        assert thm_per_byte == pytest.approx(4 * mp_per_byte, rel=0.01)
+
+    def test_no_migration_manager_zero_migration_energy(self, geometry):
+        trace = build_trace(get_workload("cactus"), geometry, length=5_000, seed=6).trace
+        manager = build_manager("tlm", geometry)
+        simulate(trace, manager)
+        report = report_for(manager)
+        assert report.migration_uj == 0.0
+        assert report.demand_uj > 0.0

@@ -1,0 +1,57 @@
+"""The printed Algorithm 1 variant vs the hardware-natural capacity.
+
+The paper's pseudocode inserts only while ``|T| < K-1`` (the classic
+Misra-Gries formulation); hardware with K counters uses all K.  Both
+variants are implemented; these tests pin their relationship.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracking.mea import MeaTracker
+
+
+class TestStrictVariant:
+    def test_strict_tracks_at_most_k_minus_1(self):
+        strict = MeaTracker(capacity=4, counter_bits=8, strict_paper_capacity=True)
+        for page in range(10):
+            strict.record(page)
+            assert len(strict) <= 3
+
+    def test_hardware_variant_uses_all_k(self):
+        mea = MeaTracker(capacity=4, counter_bits=8)
+        for page in range(4):
+            mea.record(page)
+        assert len(mea) == 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=200))
+    def test_both_variants_satisfy_mg_guarantee(self, stream):
+        # The majority guarantee holds for K-1 counters a fortiori for K:
+        # any element with frequency > N/K survives in the strict variant.
+        strict = MeaTracker(capacity=5, counter_bits=32, strict_paper_capacity=True)
+        for page in stream:
+            strict.record(page)
+        counts = Counter(stream)
+        for page, count in counts.items():
+            if count > len(stream) / 5:  # > N/K with K-1 usable counters
+                assert page in strict
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    def test_variants_agree_on_clear_majorities(self, stream):
+        # The two variants may diverge on marginal entries (their
+        # decrement rounds fire at different times), but both must
+        # agree on any element holding an outright majority.
+        strict = MeaTracker(capacity=5, counter_bits=32, strict_paper_capacity=True)
+        hardware = MeaTracker(capacity=5, counter_bits=32)
+        for page in stream:
+            strict.record(page)
+            hardware.record(page)
+        counts = Counter(stream)
+        for page, count in counts.items():
+            if count * 2 > len(stream):
+                assert page in strict
+                assert page in hardware

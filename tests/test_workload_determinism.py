@@ -1,0 +1,41 @@
+"""End-to-end determinism: the whole pipeline is a pure function of seed."""
+
+import pytest
+
+from repro import build_trace, get_workload, run, scaled_geometry
+from repro.experiments import ExperimentConfig
+from repro.experiments.oracle_figs import run_oracle_figures
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return scaled_geometry(64)
+
+
+class TestPipelineDeterminism:
+    def test_trace_build_reproducible(self, geometry):
+        a = build_trace(get_workload("mix7"), geometry, length=8_000, seed=11)
+        b = build_trace(get_workload("mix7"), geometry, length=8_000, seed=11)
+        assert a.trace.records == b.trace.records
+        assert a.per_core_requests == b.per_core_requests
+        assert a.fast_resident_fraction == b.fast_resident_fraction
+
+    def test_simulation_reproducible_across_managers(self, geometry):
+        trace = build_trace(get_workload("mix7"), geometry, length=8_000, seed=11).trace
+        for kind in ("tlm", "mempod", "thm", "cameo"):
+            first = run(trace, kind, geometry)
+            second = run(trace, kind, geometry)
+            assert first.ammat_ns == second.ammat_ns
+            assert first.migrations == second.migrations
+            assert first.row_hit_rate_fast == second.row_hit_rate_fast
+
+    def test_oracle_study_reproducible(self):
+        config = ExperimentConfig(scale=64, length=8_000, seed=11, workloads=("lbm",))
+        a = run_oracle_figures(config)
+        b = run_oracle_figures(config)
+        assert a.per_workload["lbm"].mea_future_hits == b.per_workload["lbm"].mea_future_hits
+
+    def test_different_seeds_different_results(self, geometry):
+        a = build_trace(get_workload("mix7"), geometry, length=8_000, seed=11).trace
+        b = build_trace(get_workload("mix7"), geometry, length=8_000, seed=12).trace
+        assert a.records != b.records
