@@ -10,6 +10,12 @@ paper reproduction and quick smoke runs use the same code:
 Each benchmark prints the paper-shaped table and also writes it to
 ``benchmarks/results/`` so a completed run leaves the full artefact set
 on disk.
+
+Execution goes through the shared :class:`repro.runner.SweepRunner`:
+``REPRO_JOBS`` controls the process-pool width and the on-disk result
+cache (``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE=1``) makes
+repeated benchmark runs warm — a rerun replays cached cells instead of
+simulating.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.runner import SweepRunner, set_default_runner
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,6 +35,17 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def config() -> ExperimentConfig:
     """Experiment sizing resolved once per benchmark session."""
     return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sweep_runner():
+    """Install the env-configured runner for every benchmark in the session."""
+    runner = SweepRunner.from_env()
+    previous = set_default_runner(runner)
+    yield runner
+    set_default_runner(previous)
+    if runner.tracker.total:
+        print(f"\n[repro.runner] {runner.tracker.summary()}")
 
 
 @pytest.fixture(scope="session")

@@ -7,15 +7,22 @@ Exposes the library's main entry points without writing Python:
 * ``repro run WORKLOAD``              — one comparison on one workload
 * ``repro fig1|fig2|fig3|fig6|fig7|fig8|fig9|fig10|table1|table2|table3``
                                       — regenerate a paper artefact
+* ``repro sweep [ARTEFACT...]``       — regenerate several artefacts
+                                        through one runner/cache
 * ``repro energy WORKLOAD``           — the Section 5.3 energy view
 
 Sizing flags (``--scale/--length/--seed/--workloads``) mirror the
-``REPRO_*`` environment variables used by the benchmark harness.
+``REPRO_*`` environment variables used by the benchmark harness, and the
+execution flags (``--jobs/--cache-dir/--no-cache``) mirror
+``REPRO_JOBS``/``REPRO_CACHE_DIR``/``REPRO_NO_CACHE``.  Artefact tables
+go to stdout and are byte-identical regardless of job count or cache
+state; the runner's hit-rate summary goes to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -32,6 +39,13 @@ from .experiments import (
     run_oracle_figures,
     trace_for,
 )
+from .runner import (
+    NO_CACHE_ENV_VAR,
+    ProgressTracker,
+    ResultCache,
+    SweepRunner,
+    set_default_runner,
+)
 from .system.energy import report_for
 from .system.simulator import MANAGER_KINDS, build_manager, simulate
 from .trace.analysis import compare_profiles, profile_trace
@@ -43,38 +57,83 @@ ARTEFACTS = (
 )
 
 
+def _shared_flags(suppress: bool) -> argparse.ArgumentParser:
+    """The sizing/execution flags, as a reusable parent parser.
+
+    The root parser carries the real defaults; every subcommand carries
+    a ``SUPPRESS``-defaulted copy, so `repro --length N fig8` and
+    `repro fig8 --length N` both work: a subparser writes a value into
+    the namespace only when the flag was actually given after the
+    subcommand (argparse re-copies subparser defaults over
+    parent-parsed values otherwise).
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--scale", type=int, default=default(32),
+                        help="capacity divisor vs the paper machine (default 32)")
+    shared.add_argument("--length", type=int, default=default(250_000),
+                        help="trace length in requests (default 250000)")
+    shared.add_argument("--seed", type=int, default=default(1), help="root seed")
+    shared.add_argument("--workloads", default=default(""),
+                        help="comma-separated workload subset (default: all)")
+    shared.add_argument("--jobs", type=int, default=default(None),
+                        help="parallel sweep workers "
+                             "(default: REPRO_JOBS or CPU count)")
+    shared.add_argument("--cache-dir", default=default(None),
+                        help="result-cache directory "
+                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    shared.add_argument("--no-cache", action="store_true", default=default(False),
+                        help="bypass the on-disk result cache")
+    return shared
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    shared = _shared_flags(suppress=True)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MemPod (HPCA 2017) reproduction toolkit",
+        parents=[_shared_flags(suppress=False)],
     )
-    parser.add_argument("--scale", type=int, default=32,
-                        help="capacity divisor vs the paper machine (default 32)")
-    parser.add_argument("--length", type=int, default=250_000,
-                        help="trace length in requests (default 250000)")
-    parser.add_argument("--seed", type=int, default=1, help="root seed")
-    parser.add_argument("--workloads", default="",
-                        help="comma-separated workload subset (default: all)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and mechanisms")
+    sub.add_parser("list", help="list workloads and mechanisms", parents=[shared])
 
-    profile = sub.add_parser("profile", help="characterise workload traces")
+    profile = sub.add_parser(
+        "profile", help="characterise workload traces", parents=[shared]
+    )
     profile.add_argument("names", nargs="+", help="workload names")
 
-    run_cmd = sub.add_parser("run", help="compare mechanisms on one workload")
+    run_cmd = sub.add_parser(
+        "run", help="compare mechanisms on one workload", parents=[shared]
+    )
     run_cmd.add_argument("name", help="workload name")
     run_cmd.add_argument(
         "--mechanisms", default="tlm,mempod,thm,cameo,hbm-only",
         help="comma-separated mechanism list",
     )
 
-    energy = sub.add_parser("energy", help="energy comparison on one workload")
+    energy = sub.add_parser(
+        "energy", help="energy comparison on one workload", parents=[shared]
+    )
     energy.add_argument("name", help="workload name")
 
     for artefact in ARTEFACTS:
-        sub.add_parser(artefact, help=f"regenerate the paper's {artefact}")
+        sub.add_parser(
+            artefact, help=f"regenerate the paper's {artefact}", parents=[shared]
+        )
+
+    sweep = sub.add_parser(
+        "sweep", help="regenerate several artefacts through one runner",
+        parents=[shared],
+    )
+    sweep.add_argument(
+        "artefacts", nargs="*", metavar="ARTEFACT",
+        help=f"artefacts to run (default: all of {', '.join(ARTEFACTS)})",
+    )
 
     return parser
 
@@ -84,6 +143,14 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         scale=args.scale, length=args.length, seed=args.seed, workloads=subset
     )
+
+
+def _build_runner(args: argparse.Namespace) -> SweepRunner:
+    """Resolve the runner from flags, falling back to the environment."""
+    cache: Optional[ResultCache] = None
+    if not args.no_cache and not os.environ.get(NO_CACHE_ENV_VAR):
+        cache = ResultCache(args.cache_dir)  # None -> env/default directory
+    return SweepRunner(jobs=args.jobs, cache=cache, tracker=ProgressTracker())
 
 
 def _cmd_list() -> str:
@@ -168,6 +235,21 @@ def _cmd_artefact(config: ExperimentConfig, artefact: str) -> str:
     return format_table3()
 
 
+def _cmd_sweep(config: ExperimentConfig, artefacts: Sequence[str]) -> str:
+    """Regenerate several artefacts back to back (one shared runner)."""
+    names = list(artefacts) or list(ARTEFACTS)
+    for name in names:
+        if name not in ARTEFACTS:
+            raise SystemExit(
+                f"repro sweep: unknown artefact {name!r} "
+                f"(choose from {', '.join(ARTEFACTS)})"
+            )
+    sections = []
+    for name in names:
+        sections.append(f"== {name} ==\n" + _cmd_artefact(config, name))
+    return "\n\n".join(sections)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -175,15 +257,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "list":
         print(_cmd_list())
-    elif args.command == "profile":
+        return 0
+    if args.command == "profile":
         print(_cmd_profile(config, args.names))
-    elif args.command == "run":
+        return 0
+    if args.command == "run":
         mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
         print(_cmd_run(config, args.name, mechanisms))
-    elif args.command == "energy":
+        return 0
+    if args.command == "energy":
         print(_cmd_energy(config, args.name))
-    else:
-        print(_cmd_artefact(config, args.command))
+        return 0
+
+    # Artefact commands fan their sweep cells out through the runner.
+    runner = _build_runner(args)
+    previous = set_default_runner(runner)
+    try:
+        if args.command == "sweep":
+            print(_cmd_sweep(config, args.artefacts))
+        else:
+            print(_cmd_artefact(config, args.command))
+    finally:
+        set_default_runner(previous)
+    if runner.tracker.total:
+        print(runner.tracker.summary(), file=sys.stderr)
     return 0
 
 

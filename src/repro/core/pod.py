@@ -15,7 +15,7 @@ resident page is currently hot, and wrap at most once per search.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..geometry import MemoryGeometry
 from ..tracking.mea import MeaTracker

@@ -12,12 +12,12 @@ migrations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..common.units import kib
-from ..system.simulator import run
+from ..runner.pool import SweepRunner, get_default_runner, sim_cell
 from ..system.stats import arithmetic_mean
-from .common import ExperimentConfig, format_rows, trace_for
+from .common import ExperimentConfig, format_rows
 
 FIG9_SIZES_KIB = (16, 32, 64)
 FIG9_MECHANISMS = ("mempod", "thm", "hma")
@@ -61,38 +61,48 @@ def run_fig9(
     sizes_kib: Sequence[int] = FIG9_SIZES_KIB,
     mechanisms: Sequence[str] = FIG9_MECHANISMS,
     workloads: Sequence[str] = CACHE_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig9Result:
     """Run the cache-size sensitivity study."""
+    runner = runner if runner is not None else get_default_runner()
     result = Fig9Result(sizes_kib=tuple(sizes_kib), mechanisms=tuple(mechanisms))
-    geometry = config.geometry
     names = config.workload_list(workloads)
 
-    baselines = {}
-    for name in names:
-        baselines[name] = run(trace_for(config, name), "tlm", geometry)
+    def base_params(mechanism: str) -> Dict[str, int]:
+        return config.hma_params() if mechanism == "hma" else {}
+
+    cells = [sim_cell(config, name, "tlm") for name in names]
+    for mechanism in mechanisms:
+        cells.extend(
+            sim_cell(config, name, mechanism, **base_params(mechanism))
+            for name in names
+        )
+        for size in sizes_kib:
+            cells.extend(
+                sim_cell(
+                    config, name, mechanism,
+                    cache_bytes=kib(size), **base_params(mechanism),
+                )
+                for name in names
+            )
+
+    sims = iter(runner.map(cells))
+    baselines = {name: next(sims) for name in names}
 
     for mechanism in mechanisms:
         result.normalized[mechanism] = {}
         result.miss_rates[mechanism] = {}
-        base_params = config.hma_params() if mechanism == "hma" else {}
 
         uncached = []
         for name in names:
-            sim = run(trace_for(config, name), mechanism, geometry, **base_params)
-            uncached.append(sim.normalized_to(baselines[name]))
+            uncached.append(next(sims).normalized_to(baselines[name]))
         result.uncached[mechanism] = arithmetic_mean(uncached)
 
         for size in sizes_kib:
             values = []
             misses = []
             for name in names:
-                sim = run(
-                    trace_for(config, name),
-                    mechanism,
-                    geometry,
-                    cache_bytes=kib(size),
-                    **base_params,
-                )
+                sim = next(sims)
                 values.append(sim.normalized_to(baselines[name]))
                 misses.append(sim.extras.get("cache_miss_rate", 0.0))
             result.normalized[mechanism][size] = arithmetic_mean(values)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..common.errors import ConfigError
 from ..common.units import us
 from ..geometry import MemoryGeometry, scaled_geometry
 from ..trace.interleave import TraceBuildResult, build_trace
@@ -49,8 +50,21 @@ HMA_SCALED_MAX_MIGRATIONS = 512
 
 
 def _env_int(name: str, default: int) -> int:
+    """Integer from the environment, or ``default`` when unset/empty.
+
+    Malformed values raise :class:`ConfigError` naming the variable, so
+    ``REPRO_SCALE=abc`` fails with an actionable message instead of a
+    bare ``ValueError`` traceback from deep inside a sweep.
+    """
     value = os.environ.get(name)
-    return int(value) if value else default
+    if value is None or not value.strip():
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be an integer, got {value!r}"
+        ) from None
 
 
 @dataclass(frozen=True)

@@ -14,10 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..system.simulator import run
+from ..runner.pool import SweepRunner, get_default_runner, sim_cell
 from ..system.stats import SimulationResult, arithmetic_mean
 from ..trace.workloads import HOMOGENEOUS_NAMES, MIX_NAMES
-from .common import ExperimentConfig, format_rows, trace_for
+from .common import ExperimentConfig, format_rows
 
 # Figure 8's series, in plot order.
 FIG8_MECHANISMS = ("mempod", "hma", "thm", "cameo", "hbm-only")
@@ -92,28 +92,47 @@ def run_comparison(
     future_tech: bool = False,
     cache_bytes: int = 0,
     workloads: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ComparisonResult:
     """Run the Figure 8 (or, with ``future_tech``, Figure 10) comparison.
 
     ``cache_bytes`` > 0 enables the Section 6.3.3 metadata caches on the
-    mechanisms that have them (the Figure 9 configuration).
+    mechanisms that have them (the Figure 9 configuration).  Cells are
+    submitted through ``runner`` (default: the ambient serial runner),
+    so ``--jobs N`` and a warm cache produce identical tables.
     """
+    runner = runner if runner is not None else get_default_runner()
     result = ComparisonResult(mechanisms=mechanisms)
-    geometry = config.geometry
-    for name in config.workload_list(workloads):
-        trace = trace_for(config, name)
-        baseline = run(trace, "tlm", geometry, future_tech=future_tech)
+    names = config.workload_list(workloads)
+
+    def mech_params(mechanism: str) -> Dict[str, int]:
+        params: Dict[str, int] = {}
+        if mechanism == "hma":
+            params.update(config.hma_params())
+            if cache_bytes:
+                params["cache_bytes"] = cache_bytes
+        elif mechanism in ("mempod", "thm") and cache_bytes:
+            params["cache_bytes"] = cache_bytes
+        return params
+
+    cells = []
+    for name in names:
+        cells.append(sim_cell(config, name, "tlm", future_tech=future_tech))
+        cells.extend(
+            sim_cell(
+                config, name, mechanism, future_tech=future_tech,
+                **mech_params(mechanism),
+            )
+            for mechanism in mechanisms
+        )
+
+    sims = iter(runner.map(cells))
+    for name in names:
+        baseline = next(sims)
         per_mech: Dict[str, SimulationResult] = {"tlm": baseline}
         normalized: Dict[str, float] = {}
         for mechanism in mechanisms:
-            params = {}
-            if mechanism == "hma":
-                params.update(config.hma_params())
-                if cache_bytes:
-                    params["cache_bytes"] = cache_bytes
-            elif mechanism in ("mempod", "thm") and cache_bytes:
-                params["cache_bytes"] = cache_bytes
-            sim = run(trace, mechanism, geometry, future_tech=future_tech, **params)
+            sim = next(sims)
             per_mech[mechanism] = sim
             normalized[mechanism] = sim.normalized_to(baseline)
         result.raw[name] = per_mech

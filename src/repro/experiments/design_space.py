@@ -15,12 +15,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.units import us
-from ..system.simulator import run
+from ..runner.pool import SweepRunner, get_default_runner, sim_cell
 from ..system.stats import arithmetic_mean
-from .common import ExperimentConfig, format_rows, trace_for
+from .common import ExperimentConfig, format_rows
 
 FIG6_EPOCHS_US = (25, 50, 100, 200, 500)
 FIG6_COUNTERS = (16, 32, 64, 128, 256, 512)
@@ -68,29 +68,33 @@ def run_fig6(
     epochs_us: Sequence[int] = FIG6_EPOCHS_US,
     counters: Sequence[int] = FIG6_COUNTERS,
     workloads: Sequence[str] = SWEEP_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig6Result:
     """Sweep epoch length x counter count (16-bit counters, caches off).
 
     The paper fixes 16-bit counters for this sweep to isolate the two
     axes under study.
     """
+    runner = runner if runner is not None else get_default_runner()
     result = Fig6Result(epochs_us=tuple(epochs_us), counters=tuple(counters))
-    geometry = config.geometry
     names = config.workload_list(workloads)
+    cells = [
+        sim_cell(
+            config,
+            name,
+            "mempod",
+            interval_ps=us(epoch),
+            mea_counters=counter_count,
+            mea_counter_bits=16,
+        )
+        for epoch in epochs_us
+        for counter_count in counters
+        for name in names
+    ]
+    sims = iter(runner.map(cells))
     for epoch in epochs_us:
         for counter_count in counters:
-            values: List[float] = []
-            for name in names:
-                trace = trace_for(config, name)
-                sim = run(
-                    trace,
-                    "mempod",
-                    geometry,
-                    interval_ps=us(epoch),
-                    mea_counters=counter_count,
-                    mea_counter_bits=16,
-                )
-                values.append(sim.ammat_ns)
+            values: List[float] = [next(sims).ammat_ns for _ in names]
             result.ammat_ns[(epoch, counter_count)] = arithmetic_mean(values)
     return result
 
@@ -136,30 +140,36 @@ def run_fig7(
     counters: int = 64,
     bits: Sequence[int] = FIG7_BITS,
     workloads: Sequence[str] = SWEEP_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig7Result:
     """Sweep MEA counter width at a fixed (epoch, counter-count) point.
 
     ``run_fig7(config)`` is Figure 7a; ``run_fig7(config, epoch_us=100,
     counters=128)`` is Figure 7b.
     """
+    runner = runner if runner is not None else get_default_runner()
     result = Fig7Result(epoch_us=epoch_us, counters=counters, bits=tuple(bits))
-    geometry = config.geometry
     names = config.workload_list(workloads)
+    cells = [
+        sim_cell(
+            config,
+            name,
+            "mempod",
+            interval_ps=us(epoch_us),
+            mea_counters=counters,
+            mea_counter_bits=width,
+            # min_count must stay expressible in the narrowest width.
+            mea_min_count=min(2, (1 << width) - 1),
+        )
+        for width in bits
+        for name in names
+    ]
+    sims = iter(runner.map(cells))
     for width in bits:
         ammat: List[float] = []
         migrations: List[float] = []
-        for name in names:
-            trace = trace_for(config, name)
-            sim = run(
-                trace,
-                "mempod",
-                geometry,
-                interval_ps=us(epoch_us),
-                mea_counters=counters,
-                mea_counter_bits=width,
-                # min_count must stay expressible in the narrowest width.
-                mea_min_count=min(2, (1 << width) - 1),
-            )
+        for _ in names:
+            sim = next(sims)
             ammat.append(sim.ammat_ns)
             migrations.append(sim.extras.get("migrations_per_pod_interval", 0.0))
         result.ammat_ns[width] = arithmetic_mean(ammat)

@@ -15,16 +15,16 @@ the paper's parameters: 5,500-request intervals and 128 MEA counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..runner.pool import OracleCell, SweepRunner, get_default_runner
 from ..tracking.oracle import (
     OracleResult,
     TIER_LABELS,
     average_results,
-    run_oracle_study,
 )
 from ..trace.workloads import HOMOGENEOUS_NAMES, MIX_NAMES
-from .common import ExperimentConfig, format_rows, trace_for
+from .common import ExperimentConfig, format_rows
 
 FIG3_WORKLOADS = ("cactus", "xalanc", "mix9", "bwaves", "lbm", "libquantum")
 
@@ -100,19 +100,18 @@ def run_oracle_figures(
     config: ExperimentConfig,
     interval_requests: int = 5500,
     mea_counters: int = 128,
+    runner: Optional[SweepRunner] = None,
 ) -> OracleFigures:
     """Run the Section 3 study over the configured workloads."""
+    runner = runner if runner is not None else get_default_runner()
     figures = OracleFigures()
     hg: List[OracleResult] = []
     mix: List[OracleResult] = []
-    for name in config.workload_list():
-        trace = trace_for(config, name)
-        result = run_oracle_study(
-            trace.page_sequence(),
-            workload=name,
-            interval_requests=interval_requests,
-            mea_counters=mea_counters,
-        )
+    names = config.workload_list()
+    cells = [
+        OracleCell(config, name, interval_requests, mea_counters) for name in names
+    ]
+    for name, result in zip(names, runner.map(cells)):
         figures.per_workload[name] = result
         if name in HOMOGENEOUS_NAMES:
             hg.append(result)

@@ -17,11 +17,11 @@ current-technology Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..system.simulator import run
+from ..runner.pool import SweepRunner, get_default_runner, sim_cell
 from ..system.stats import arithmetic_mean
-from .common import ExperimentConfig, format_rows, trace_for
+from .common import ExperimentConfig, format_rows
 
 FIG10_MECHANISMS = ("tlm", "hma", "thm", "cameo", "mempod", "hbm-only")
 
@@ -66,22 +66,34 @@ def run_fig10(
     config: ExperimentConfig,
     mechanisms: Sequence[str] = FIG10_MECHANISMS,
     workloads: Sequence[str] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig10Result:
     """Run the future-technology comparison."""
+    runner = runner if runner is not None else get_default_runner()
     result = Fig10Result(mechanisms=tuple(mechanisms))
-    geometry = config.geometry
-    for name in config.workload_list(workloads):
-        trace = trace_for(config, name)
-        baseline = run(trace, "ddr-only", geometry, future_tech=True)
-        row: Dict[str, float] = {}
-        for mechanism in mechanisms:
-            params = {}
-            if mechanism == "hma":
-                params.update(config.hma_params())
-                params["sort_penalty_ps"] = int(
-                    params["sort_penalty_ps"] * FUTURE_PENALTY_SCALE
-                )
-            sim = run(trace, mechanism, geometry, future_tech=True, **params)
-            row[mechanism] = sim.normalized_to(baseline)
-        result.normalized[name] = row
+    names = config.workload_list(workloads)
+
+    def mech_params(mechanism: str) -> Dict[str, int]:
+        params: Dict[str, int] = {}
+        if mechanism == "hma":
+            params.update(config.hma_params())
+            params["sort_penalty_ps"] = int(
+                params["sort_penalty_ps"] * FUTURE_PENALTY_SCALE
+            )
+        return params
+
+    cells = []
+    for name in names:
+        cells.append(sim_cell(config, name, "ddr-only", future_tech=True))
+        cells.extend(
+            sim_cell(config, name, mechanism, future_tech=True, **mech_params(mechanism))
+            for mechanism in mechanisms
+        )
+
+    sims = iter(runner.map(cells))
+    for name in names:
+        baseline = next(sims)
+        result.normalized[name] = {
+            mechanism: next(sims).normalized_to(baseline) for mechanism in mechanisms
+        }
     return result

@@ -39,6 +39,11 @@ class MemoryManager(ABC):
         self.geometry = geometry
         self.engine = MigrationEngine(memory, geometry)
         self._blocked: Dict[int, int] = {}
+        # Expiry min-heap of (until_ps, page) mirroring _blocked, so
+        # expired entries for pages never demanded again are still
+        # reclaimed (lazy deletion: stale heap entries whose page was
+        # re-blocked later no longer match the dict and are skipped).
+        self._blocked_expiry: list = []
         self.blocked_hits = 0
         # Scheduled page copies: a min-heap of (issue_ps, seq, frame_a,
         # frame_b, pod), drained as simulated time passes each issue
@@ -107,6 +112,22 @@ class MemoryManager(ABC):
         current = self._blocked.get(page, 0)
         if until_ps > current:
             self._blocked[page] = until_ps
+            heapq.heappush(self._blocked_expiry, (until_ps, page))
+
+    def _prune_blocked(self, now_ps: int) -> None:
+        """Drop every block that expired by ``now_ps``.
+
+        Without this, a page blocked once and never demanded again
+        stays in the table forever (the demand-path prune only fires on
+        a repeat touch), so long traces grow the dict without bound.
+        Amortised O(1) per call: each heap entry is popped exactly once.
+        """
+        heap = self._blocked_expiry
+        blocked = self._blocked
+        while heap and heap[0][0] <= now_ps:
+            until_ps, page = heapq.heappop(heap)
+            if blocked.get(page) == until_ps:
+                del blocked[page]
 
     def _block_penalty_ps(self, page: int, arrival_ps: int) -> int:
         """Stall a demand to ``page`` suffers from an in-flight swap.
@@ -116,8 +137,11 @@ class MemoryManager(ABC):
         ``account_ps = arrival - penalty`` — the wait shows up in the
         AMMAT numerator without pushing a future timestamp into the
         controllers (which would convoy the channel for unrelated
-        traffic).  Expired entries are pruned opportunistically.
+        traffic).  Expired entries are pruned wholesale as simulated
+        time passes, so the table size stays bounded by the number of
+        genuinely in-flight blocks.
         """
+        self._prune_blocked(arrival_ps)
         until = self._blocked.get(page)
         if until is None:
             return 0

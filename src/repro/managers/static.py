@@ -40,6 +40,7 @@ class SingleLevelManager(MemoryManager):
         self.geometry = geometry
         self.engine = None
         self._blocked = {}
+        self._blocked_expiry = []
         self.blocked_hits = 0
         self.name = memory.device.name
 

@@ -1,0 +1,40 @@
+"""Parallel sweep execution with a persistent result cache.
+
+Sweep cells — one ``simulate()`` or oracle study per (config, workload,
+mechanism, params) — are embarrassingly parallel and fully reproducible,
+so this package executes them through a process pool behind a
+content-addressed on-disk cache.  See :mod:`repro.runner.pool` for the
+execution model and :mod:`repro.runner.cache` for the key scheme.
+"""
+
+from .cache import CACHE_ENV_VAR, ResultCache, code_version_token, default_cache_dir, fingerprint
+from .pool import (
+    JOBS_ENV_VAR,
+    NO_CACHE_ENV_VAR,
+    OracleCell,
+    SimCell,
+    SweepRunner,
+    cell_key,
+    get_default_runner,
+    set_default_runner,
+    sim_cell,
+)
+from .progress import ProgressTracker
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "JOBS_ENV_VAR",
+    "NO_CACHE_ENV_VAR",
+    "OracleCell",
+    "ProgressTracker",
+    "ResultCache",
+    "SimCell",
+    "SweepRunner",
+    "cell_key",
+    "code_version_token",
+    "default_cache_dir",
+    "fingerprint",
+    "get_default_runner",
+    "set_default_runner",
+    "sim_cell",
+]

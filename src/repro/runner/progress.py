@@ -1,0 +1,86 @@
+"""Sweep progress: per-cell timing, cache hit/miss counters, live line.
+
+The tracker is deliberately dumb about *what* is running — it counts
+cells, separates cache hits from simulated misses, and accumulates
+wall-clock time spent simulating.  The live ``N/M cells (hit rate X%)``
+line is written to ``stream`` (stderr by default) and only when that
+stream is a terminal, so piped and captured output stays clean and the
+tables on stdout remain byte-identical between cold, warm, serial and
+parallel runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, TextIO, Tuple
+
+
+class ProgressTracker:
+    """Counters and timings for one or more sweep runs.
+
+    One tracker may span several :meth:`~repro.runner.pool.SweepRunner.map`
+    calls (e.g. ``repro sweep`` aggregates every artefact it regenerates
+    into a single hit-rate summary).
+    """
+
+    def __init__(
+        self, stream: Optional[TextIO] = None, live: Optional[bool] = None
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            live = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.live = live
+        self.total = 0
+        self.done = 0
+        self.hits = 0
+        self.misses = 0
+        self.simulate_seconds = 0.0
+        #: per-cell records: (label, seconds, was_cache_hit)
+        self.timings: List[Tuple[str, float, bool]] = []
+
+    # -- event feed --------------------------------------------------------
+
+    def begin(self, cells: int) -> None:
+        """Announce ``cells`` more cells of upcoming work."""
+        self.total += cells
+        self._render()
+
+    def cell_done(self, label: str, hit: bool, seconds: float) -> None:
+        """Record one finished cell (a cache hit or a simulated miss)."""
+        self.done += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.simulate_seconds += seconds
+        self.timings.append((label, seconds, hit))
+        self._render()
+
+    def finish(self) -> None:
+        """Terminate the live line (no-op when not rendering)."""
+        if self.live and self.total:
+            self.stream.write("\r" + self.status_line() + "\n")
+            self.stream.flush()
+
+    # -- reporting ---------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Fraction of completed cells served from the cache."""
+        return self.hits / self.done if self.done else 0.0
+
+    def status_line(self) -> str:
+        """The live progress line: ``N/M cells (hit rate X%)``."""
+        return f"{self.done}/{self.total} cells (hit rate {self.hit_rate():.0%})"
+
+    def summary(self) -> str:
+        """One-line post-run summary (hit rate + time spent simulating)."""
+        return (
+            f"{self.done}/{self.total} cells, {self.hits} cache hits "
+            f"(hit rate {self.hit_rate():.0%}), "
+            f"{self.simulate_seconds:.1f}s simulating"
+        )
+
+    def _render(self) -> None:
+        if self.live and self.total:
+            self.stream.write("\r" + self.status_line())
+            self.stream.flush()

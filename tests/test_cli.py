@@ -5,6 +5,13 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI tests hermetic: never touch the user's result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
 def run_cli(capsys, *argv):
     code = main(list(argv))
     captured = capsys.readouterr()
@@ -77,3 +84,57 @@ class TestEnergy:
         out = run_cli(capsys, *SMALL, "energy", "xalanc")
         assert "mempod" in out
         assert "uJ" in out
+
+
+class TestRunnerFlags:
+    def test_flags_accepted_after_the_subcommand(self, capsys):
+        out = run_cli(
+            capsys, "fig2", "--scale", "64", "--length", "8000",
+            "--seed", "3", "--workloads", "cactus",
+        )
+        assert "cactus" in out
+        assert "mix1" not in out
+
+    def test_warm_second_run_is_identical_and_fully_cached(self, capsys):
+        argv = [*SMALL, "--workloads", "cactus", "--jobs", "1", "fig2"]
+        assert main(list(argv)) == 0
+        cold = capsys.readouterr()
+        assert main(list(argv)) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # byte-identical table
+        assert "hit rate 0%" in cold.err
+        assert "hit rate 100%" in warm.err
+
+    def test_no_cache_bypasses_the_disk(self, capsys, isolated_cache):
+        run_cli(capsys, *SMALL, "--workloads", "cactus", "--no-cache", "fig2")
+        assert not isolated_cache.exists()
+
+    def test_cache_dir_flag_wins(self, capsys, tmp_path):
+        override = tmp_path / "elsewhere"
+        run_cli(
+            capsys, *SMALL, "--workloads", "cactus",
+            "--cache-dir", str(override), "fig2",
+        )
+        assert any(override.rglob("*.json"))
+
+
+class TestSweep:
+    def test_sweep_runs_selected_artefacts(self, capsys):
+        out = run_cli(capsys, *SMALL, "--workloads", "cactus", "sweep",
+                      "table1", "fig1")
+        assert "== table1 ==" in out
+        assert "== fig1 ==" in out
+        assert "Table 1" in out
+        assert "Figure 1" in out
+
+    def test_sweep_shares_one_runner_summary(self, capsys):
+        code = main([*SMALL, "--workloads", "cactus", "sweep", "fig1", "fig2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # fig1 and fig2 share the oracle cells: one cold miss, one hit.
+        assert "2/2 cells" in captured.err
+
+    def test_sweep_rejects_unknown_artefact(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "transmogrify"])
+        capsys.readouterr()

@@ -45,6 +45,17 @@ class TestConfig:
         assert config.workloads == ()
         assert len(config.workload_list()) == 27
 
+    def test_malformed_env_int_names_the_variable(self, monkeypatch):
+        from repro.common.errors import ConfigError
+
+        monkeypatch.setenv("REPRO_SCALE", "abc")
+        with pytest.raises(ConfigError, match="REPRO_SCALE"):
+            ExperimentConfig.from_env()
+
+    def test_blank_env_int_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "  ")
+        assert ExperimentConfig.from_env().scale == 32
+
     def test_workload_subset_wins(self):
         config = ExperimentConfig(workloads=("lbm",))
         assert config.workload_list(default=["mcf"]) == ["lbm"]

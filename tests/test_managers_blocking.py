@@ -7,6 +7,7 @@ from repro.common.units import us
 from repro.geometry import scaled_geometry
 from repro.managers.static import NoMigrationManager
 from repro.system.hybrid import HybridMemory
+from repro.system.simulator import simulate
 
 
 @pytest.fixture
@@ -41,6 +42,39 @@ class TestBlocking:
     def test_blocks_are_per_page(self, manager):
         manager._block_page(5, 10_000)
         assert manager._block_penalty_ps(6, 0) == 0
+
+
+class TestBlockingTableBounded:
+    """Regression: entries for pages never demanded again must not leak."""
+
+    def test_expired_blocks_pruned_without_retouch(self, manager):
+        # Pre-fix, an expired entry was deleted only when the *same*
+        # page was demanded again; these 1000 pages never are.
+        for page in range(1000):
+            manager._block_page(page, 1_000 + page)
+        manager._block_penalty_ps(5_000, 1_000_000)  # unrelated page, later
+        assert manager._blocked == {}
+        assert manager._blocked_expiry == []
+
+    def test_reblocked_page_survives_stale_heap_entry(self, manager):
+        manager._block_page(5, 10_000)
+        manager._block_page(5, 50_000)  # extended: old heap entry is stale
+        manager._prune_blocked(20_000)
+        assert manager._block_penalty_ps(5, 30_000) == 20_000
+
+    def test_bounded_after_multi_interval_run(self, geometry):
+        from repro.experiments import ExperimentConfig, trace_for
+
+        config = ExperimentConfig(scale=64, length=20_000, seed=1)
+        trace = trace_for(config, "xalanc")
+        manager = MemPodManager(HybridMemory(geometry), geometry)
+        simulate(trace, manager)
+        # Only the final interval's in-flight blocks may remain (the
+        # trace-end flush schedules them past the last demand).  The
+        # unpruned table held more entries than total migrations.
+        assert manager.total_migrations > 0
+        assert len(manager._blocked) < manager.total_migrations
+        assert len(manager._blocked_expiry) < manager.total_migrations
 
 
 class TestSwapScheduling:
