@@ -1,0 +1,78 @@
+"""Benchmark regression gate: compare a pytest-benchmark JSON to a baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json [BASELINE.json]
+
+Compares mean wall-clock per benchmark against the committed baseline
+(``benchmarks/baselines/BENCH_seed.json`` by default, recorded on the
+pre-optimisation seed) and exits non-zero when any benchmark present in
+both files regressed in throughput by more than ``THRESHOLD`` (30 %):
+``current_mean > baseline_mean / (1 - THRESHOLD)``.
+
+Benchmarks only present on one side are reported but never fail the
+gate, so adding a benchmark does not require a synchronized baseline
+refresh.  Absolute times differ across machines — the gate is a coarse
+tripwire for order-of-magnitude mistakes (accidentally disabling the
+fast kernel, reintroducing per-record allocation), not a precision
+instrument; refresh the baseline deliberately when the hot paths change
+on purpose.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: allowed throughput loss vs baseline before the gate trips
+THRESHOLD = 0.30
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_seed.json"
+
+
+def load_means(path: Path) -> "dict[str, float]":
+    data = json.loads(path.read_text())
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def main(argv: "list[str]") -> int:
+    if not argv or len(argv) > 2:
+        print(__doc__)
+        return 2
+    current_path = Path(argv[0])
+    baseline_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_BASELINE
+    current = load_means(current_path)
+    baseline = load_means(baseline_path)
+
+    failures = []
+    print(f"{'benchmark':<42} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name in sorted(set(current) | set(baseline)):
+        if name not in baseline:
+            print(f"{name:<42} {'--':>10} {current[name] * 1e3:>8.1f}ms   (new)")
+            continue
+        if name not in current:
+            print(f"{name:<42} {baseline[name] * 1e3:>8.1f}ms {'--':>10}   (gone)")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = ""
+        if current[name] > baseline[name] / (1.0 - THRESHOLD):
+            failures.append(name)
+            flag = "  REGRESSED"
+        print(
+            f"{name:<42} {baseline[name] * 1e3:>8.1f}ms "
+            f"{current[name] * 1e3:>8.1f}ms {ratio:>6.2f}x{flag}"
+        )
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{THRESHOLD:.0%} vs {baseline_path.name}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nno regressions beyond {THRESHOLD:.0%} vs {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

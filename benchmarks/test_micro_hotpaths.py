@@ -8,6 +8,9 @@ without running a full figure.
 
 import pytest
 
+import repro.kernel  # noqa: F401  -- pay the lazy kernel (and numpy) import
+# at collection time so the first replay round times replay, not imports
+
 from repro.common.rng import DeterministicRng
 from repro.dram import HBM_TIMING
 from repro.dram.controller import ChannelController
@@ -75,6 +78,26 @@ def test_tlm_replay_throughput(benchmark, geometry, small_trace):
 def test_mempod_replay_throughput(benchmark, geometry, small_trace):
     benchmark.pedantic(
         lambda: simulate(small_trace, build_manager("mempod", geometry)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_tlm_replay_reference_throughput(benchmark, geometry, small_trace):
+    """The reference loop on the same cell as test_tlm_replay_throughput,
+    so the fast kernel's speedup is measurable from one benchmark run."""
+    benchmark.pedantic(
+        lambda: simulate(small_trace, build_manager("tlm", geometry),
+                         kernel="reference"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_mempod_replay_reference_throughput(benchmark, geometry, small_trace):
+    benchmark.pedantic(
+        lambda: simulate(small_trace, build_manager("mempod", geometry),
+                         kernel="reference"),
         rounds=3,
         iterations=1,
     )

@@ -47,7 +47,14 @@ from .runner import (
     set_default_runner,
 )
 from .system.energy import report_for
-from .system.simulator import MANAGER_KINDS, build_manager, simulate
+from .system.simulator import (
+    KERNEL_ENV_VAR,
+    KERNEL_KINDS,
+    MANAGER_KINDS,
+    build_manager,
+    reference_simulate,
+    simulate,
+)
 from .trace.analysis import compare_profiles, profile_trace
 from .trace.workloads import workload_names
 
@@ -87,6 +94,9 @@ def _shared_flags(suppress: bool) -> argparse.ArgumentParser:
                              "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
     shared.add_argument("--no-cache", action="store_true", default=default(False),
                         help="bypass the on-disk result cache")
+    shared.add_argument("--kernel", choices=KERNEL_KINDS, default=default(None),
+                        help="replay kernel: fast (default) or reference; "
+                             "mirrors REPRO_KERNEL")
     return shared
 
 
@@ -106,6 +116,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "profile", help="characterise workload traces", parents=[shared]
     )
     profile.add_argument("names", nargs="+", help="workload names")
+    profile.add_argument(
+        "--replay", default="", metavar="KINDS",
+        help="also profile replay performance: comma-separated mechanism "
+             "kinds run under both kernels, reporting records/s, speedup, "
+             "and result equality",
+    )
+    profile.add_argument(
+        "--cprofile", type=int, default=0, metavar="N",
+        help="with --replay: cProfile the fast-kernel replay and print "
+             "the top N functions by cumulative time",
+    )
 
     run_cmd = sub.add_parser(
         "run", help="compare mechanisms on one workload", parents=[shared]
@@ -166,6 +187,81 @@ def _cmd_list() -> str:
 def _cmd_profile(config: ExperimentConfig, names: Sequence[str]) -> str:
     profiles = [profile_trace(trace_for(config, name)) for name in names]
     return compare_profiles(profiles)
+
+
+def _cmd_profile_replay(
+    config: ExperimentConfig,
+    names: Sequence[str],
+    kinds: Sequence[str],
+    cprofile_top: int,
+) -> str:
+    """Replay-performance view: per-phase records/s under both kernels.
+
+    For every (workload, mechanism) pair, replays the trace once with
+    the reference loop and once with the fast kernel, reports throughput
+    and speedup, and checks the two results for field-for-field equality
+    (an on-line rerun of the differential suite's invariant).
+    """
+    import time
+    from dataclasses import asdict
+
+    from . import kernel as _kernel  # noqa: F401 -- pay the one-time import
+    # (and numpy's) before the clocks start, not inside the first timing.
+
+    geometry = config.geometry
+    lines = []
+    profiled = None  # (trace, manager factory) for the optional cProfile pass
+    for name in names:
+        start = time.perf_counter()
+        trace = trace_for(config, name)
+        build_seconds = time.perf_counter() - start
+        records = len(trace)
+        lines.append(
+            f"{name}: {records:,} records, trace build "
+            f"{records / build_seconds:,.0f} records/s"
+        )
+        lines.append(
+            f"  {'mechanism':<10} {'reference rec/s':>16} {'fast rec/s':>12} "
+            f"{'speedup':>8} {'results':>9}"
+        )
+        for kind in kinds:
+            params = config.hma_params() if kind == "hma" else {}
+
+            def build():
+                return build_manager(kind, geometry, **params)
+
+            start = time.perf_counter()
+            reference = reference_simulate(trace, build())
+            reference_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            fast = simulate(trace, build(), kernel="fast")
+            fast_seconds = time.perf_counter() - start
+            equal = asdict(reference) == asdict(fast)
+            lines.append(
+                f"  {kind:<10} {records / reference_seconds:>16,.0f} "
+                f"{records / fast_seconds:>12,.0f} "
+                f"{reference_seconds / fast_seconds:>7.2f}x "
+                f"{'identical' if equal else 'DIVERGED':>9}"
+            )
+            if profiled is None:
+                profiled = (trace, build)
+    if cprofile_top and profiled is not None:
+        import cProfile
+        import io
+        import pstats
+
+        trace, build = profiled
+        profiler = cProfile.Profile()
+        manager = build()
+        profiler.enable()
+        simulate(trace, manager, kernel="fast")
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(cprofile_top)
+        lines.append("")
+        lines.append(buffer.getvalue().rstrip())
+    return "\n".join(lines)
 
 
 def _cmd_run(config: ExperimentConfig, name: str, mechanisms: Sequence[str]) -> str:
@@ -254,12 +350,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     config = _config(args)
+    if args.kernel:
+        # Ambient switch: resolve_kernel() consults the environment, so
+        # this one assignment covers in-process simulate() calls and the
+        # sweep cells (whose kernel is captured at construction).
+        os.environ[KERNEL_ENV_VAR] = args.kernel
 
     if args.command == "list":
         print(_cmd_list())
         return 0
     if args.command == "profile":
-        print(_cmd_profile(config, args.names))
+        kinds = [k.strip() for k in args.replay.split(",") if k.strip()]
+        if kinds:
+            print(_cmd_profile_replay(config, args.names, kinds, args.cprofile))
+        else:
+            print(_cmd_profile(config, args.names))
         return 0
     if args.command == "run":
         mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]

@@ -86,6 +86,23 @@ class MigrationEngine:
         access + ``lines`` serialized bursts."""
         return timing.trcd_ps + timing.tcas_ps + lines * timing.burst_ps(LINE_BYTES)
 
+    def _locate(self, address: int) -> "tuple":
+        """Resolve a flat address to ``(controller, bank, row)``.
+
+        A migration page is smaller than the row buffer and page-aligned,
+        so every line of the page shares one (channel, bank, row) — the
+        swap loops decode once per page side instead of once per line.
+        """
+        memory = self.memory
+        fast_bytes = self.geometry.fast_bytes
+        if address < fast_bytes:
+            device = memory.fast
+        else:
+            device = memory.slow
+            address -= fast_bytes
+        channel, bank, row = device.mapper.fast_decode(address)
+        return device.controllers[channel], bank, row
+
     @property
     def page_swap_cost_ps(self) -> int:
         """Pipelined duration of one full page swap (read + write phase)."""
@@ -107,20 +124,19 @@ class MigrationEngine:
         geometry = self.geometry
         lines = geometry.lines_per_page
         page_bytes = geometry.page_bytes
-        base_a = frame_a * page_bytes
-        base_b = frame_b * page_bytes
-        memory = self.memory
+        ctrl_a, bank_a, row_a = self._locate(frame_a * page_bytes)
+        ctrl_b, bank_b, row_b = self._locate(frame_b * page_bytes)
+        enqueue_a = ctrl_a.enqueue
+        enqueue_b = ctrl_b.enqueue
         write_ps = at_ps + self._page_phase_ps
         # Reads of both candidates into the migration buffers...
-        for line in range(lines):
-            offset = line * LINE_BYTES
-            memory.access(base_a + offset, False, at_ps, MIGRATION)
-            memory.access(base_b + offset, False, at_ps, MIGRATION)
+        for _ in range(lines):
+            enqueue_a(bank_a, row_a, False, at_ps, MIGRATION)
+            enqueue_b(bank_b, row_b, False, at_ps, MIGRATION)
         # ...then the two write-backs to the swapped locations.
-        for line in range(lines):
-            offset = line * LINE_BYTES
-            memory.access(base_a + offset, True, write_ps, MIGRATION)
-            memory.access(base_b + offset, True, write_ps, MIGRATION)
+        for _ in range(lines):
+            enqueue_a(bank_a, row_a, True, write_ps, MIGRATION)
+            enqueue_b(bank_b, row_b, True, write_ps, MIGRATION)
         self.stats.note_swap(2 * page_bytes, pod=pod)
         return at_ps + self.page_swap_cost_ps
 
@@ -129,11 +145,12 @@ class MigrationEngine:
 
         Two reads plus two writes; returns the completion time.
         """
-        memory = self.memory
+        ctrl_a, bank_a, row_a = self._locate(address_a)
+        ctrl_b, bank_b, row_b = self._locate(address_b)
         write_ps = at_ps + self._line_phase_ps
-        memory.access(address_a, False, at_ps, MIGRATION)
-        memory.access(address_b, False, at_ps, MIGRATION)
-        memory.access(address_a, True, write_ps, MIGRATION)
-        memory.access(address_b, True, write_ps, MIGRATION)
+        ctrl_a.enqueue(bank_a, row_a, False, at_ps, MIGRATION)
+        ctrl_b.enqueue(bank_b, row_b, False, at_ps, MIGRATION)
+        ctrl_a.enqueue(bank_a, row_a, True, write_ps, MIGRATION)
+        ctrl_b.enqueue(bank_b, row_b, True, write_ps, MIGRATION)
         self.stats.note_swap(2 * LINE_BYTES, is_line=True)
         return at_ps + self.line_swap_cost_ps

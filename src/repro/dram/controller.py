@@ -18,12 +18,17 @@ Timing accounted per transaction:
 
 Completion times are returned to the caller and aggregated into
 :class:`ControllerStats`.
+
+Every structure here is replayed millions of times per experiment, so
+the pending buffer holds plain tuples
+``(arrival_ps, account_ps, bank, row, is_write, kind)`` rather than
+objects, and the scheduling loops keep their state in locals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..common.config import require_positive_int
 from .bank import Bank, ROW_HIT
@@ -32,51 +37,69 @@ from .timing import DramTiming
 
 REQUEST_BYTES = 64
 
+#: Pending-buffer entry layout (plain tuple, index-addressed):
+#: ``(arrival_ps, account_ps, bank, row, is_write, kind)``.
+PendingEntry = Tuple[int, int, int, int, int, int]
+
 
 @dataclass
 class ControllerStats:
-    """Aggregate service statistics for one channel controller."""
+    """Aggregate service statistics for one channel controller.
+
+    The request kinds form a closed set of three, so the per-kind
+    tallies are plain integer fields (the service loop touches them for
+    every transaction); the dict-shaped views existing callers expect
+    are derived on demand.
+    """
 
     served: int = 0
     reads: int = 0
     writes: int = 0
     row_hits: int = 0
     total_latency_ps: int = 0
-    latency_by_kind: dict = field(
-        default_factory=lambda: {DEMAND: 0, MIGRATION: 0, BOOKKEEPING: 0}
-    )
-    count_by_kind: dict = field(
-        default_factory=lambda: {DEMAND: 0, MIGRATION: 0, BOOKKEEPING: 0}
-    )
+    demand_latency_ps: int = 0
+    migration_latency_ps: int = 0
+    bookkeeping_latency_ps: int = 0
+    demand_count: int = 0
+    migration_count: int = 0
+    bookkeeping_count: int = 0
+
+    @property
+    def latency_by_kind(self) -> dict:
+        """``{kind: total latency}`` view over the closed kind set."""
+        return {
+            DEMAND: self.demand_latency_ps,
+            MIGRATION: self.migration_latency_ps,
+            BOOKKEEPING: self.bookkeeping_latency_ps,
+        }
+
+    @property
+    def count_by_kind(self) -> dict:
+        """``{kind: served count}`` view over the closed kind set."""
+        return {
+            DEMAND: self.demand_count,
+            MIGRATION: self.migration_count,
+            BOOKKEEPING: self.bookkeeping_count,
+        }
+
+    def merge(self, other: "ControllerStats") -> None:
+        """Accumulate ``other`` into this stats object (field-wise sum)."""
+        self.served += other.served
+        self.reads += other.reads
+        self.writes += other.writes
+        self.row_hits += other.row_hits
+        self.total_latency_ps += other.total_latency_ps
+        self.demand_latency_ps += other.demand_latency_ps
+        self.migration_latency_ps += other.migration_latency_ps
+        self.bookkeeping_latency_ps += other.bookkeeping_latency_ps
+        self.demand_count += other.demand_count
+        self.migration_count += other.migration_count
+        self.bookkeeping_count += other.bookkeeping_count
 
     @property
     def row_hit_rate(self) -> float:
         """Fraction of served transactions that hit an open row."""
         return self.row_hits / self.served if self.served else 0.0
-
-
-class _Pending:
-    """A buffered transaction awaiting service."""
-
-    __slots__ = ("seq", "arrival_ps", "account_ps", "bank", "row", "is_write", "kind")
-
-    def __init__(
-        self,
-        seq: int,
-        arrival_ps: int,
-        account_ps: int,
-        bank: int,
-        row: int,
-        is_write: bool,
-        kind: int,
-    ) -> None:
-        self.seq = seq
-        self.arrival_ps = arrival_ps
-        self.account_ps = account_ps
-        self.bank = bank
-        self.row = row
-        self.is_write = is_write
-        self.kind = kind
 
 
 class ChannelController:
@@ -101,8 +124,7 @@ class ChannelController:
         self.banks: List[Bank] = [Bank() for _ in range(banks)]
         self.bus_free_ps = 0
         self.stats = ControllerStats()
-        self._pending: List[_Pending] = []
-        self._seq = 0
+        self._pending: List[PendingEntry] = []
         self._burst_ps = timing.burst_ps(REQUEST_BYTES)
         self._turnaround_ps = timing.turnaround_ps
         self._last_was_write = False
@@ -130,41 +152,48 @@ class ChannelController:
         migrating page accounts from its original arrival so the block
         time shows up as stall time.
         """
-        if account_ps is None:
-            account_ps = arrival_ps
-        self._pending.append(
-            _Pending(self._seq, arrival_ps, account_ps, bank, row, is_write, kind)
-        )
-        self._seq += 1
+        pending = self._pending
+        pending.append((
+            arrival_ps,
+            arrival_ps if account_ps is None else account_ps,
+            bank,
+            row,
+            is_write,
+            kind,
+        ))
+        if len(pending) == 1:
+            # A lone transaction can never start before its own arrival,
+            # so the drain loop below would break without side effects.
+            return
         # Keep the buffer bounded, then drain every transaction whose
         # service would have *started* before this arrival: an idle
         # channel services immediately; the window only buys reordering
         # while the channel is genuinely contended.
-        pending = self._pending
+        banks = self.banks
+        choose = self._choose
+        service_at = self._service_at
         while len(pending) > self.window:
-            self._service_one()
+            service_at(choose())
         while pending:
-            idx = self._choose()
+            idx = choose()
             cand = pending[idx]
-            bank = self.banks[cand.bank]
-            start = cand.arrival_ps
-            if bank.busy_until_ps > start:
-                start = bank.busy_until_ps
+            start = banks[cand[2]].busy_until_ps
+            if cand[0] > start:
+                start = cand[0]
             if start >= arrival_ps:
                 # The preferred candidate cannot start yet; an older
                 # transaction to a free bank still can (hardware would
                 # have issued it already), so drain that one instead.
                 if idx != 0:
                     head = pending[0]
-                    head_bank = self.banks[head.bank]
-                    head_start = head.arrival_ps
-                    if head_bank.busy_until_ps > head_start:
-                        head_start = head_bank.busy_until_ps
+                    head_start = banks[head[2]].busy_until_ps
+                    if head[0] > head_start:
+                        head_start = head[0]
                     if head_start < arrival_ps:
-                        self._service_at(0)
+                        service_at(0)
                         continue
                 break
-            self._service_at(idx)
+            service_at(idx)
 
     def flush(self) -> int:
         """Service every buffered transaction; return last completion time."""
@@ -218,15 +247,18 @@ class ChannelController:
         is append-ordered, so lower index is always older.
         """
         pending = self._pending
-        oldest_arrival = pending[0].arrival_ps
+        if len(pending) == 1:
+            return 0
+        banks = self.banks
+        promote_past = pending[0][0] + self.STARVATION_PS
         same_direction = -1
         direction = self._last_was_write
         for idx, cand in enumerate(pending):
-            if self.banks[cand.bank].open_row == cand.row:
-                if cand.arrival_ps - oldest_arrival > self.STARVATION_PS:
+            if banks[cand[2]].open_row == cand[3]:
+                if cand[0] > promote_past:
                     return 0  # age promotion beats the row hit
                 return idx
-            if same_direction < 0 and cand.is_write == direction:
+            if same_direction < 0 and cand[4] == direction:
                 same_direction = idx
         return same_direction if same_direction >= 0 else 0
 
@@ -234,18 +266,21 @@ class ChannelController:
         self._service_at(self._choose())
 
     def _service_at(self, chosen_idx: int) -> None:
-        chosen = self._pending.pop(chosen_idx)
+        arrival_ps, account_ps, bank_idx, row, is_write, kind = self._pending.pop(
+            chosen_idx
+        )
         # Refresh: every tREFI the channel pauses for tRFC, all banks
         # unavailable.  Applied lazily at service time: elapsed
         # boundaries are fast-forwarded and only the latest one's
         # stall window [boundary, boundary + tRFC] can still delay this
         # transaction — refreshes that completed while the channel was
         # idle cost nothing, exactly as in hardware.
-        if self._trefi_ps and chosen.arrival_ps >= self._next_refresh_ps:
-            elapsed = (chosen.arrival_ps - self._next_refresh_ps) // self._trefi_ps
-            boundary = self._next_refresh_ps + elapsed * self._trefi_ps
+        trefi_ps = self._trefi_ps
+        if trefi_ps and arrival_ps >= self._next_refresh_ps:
+            elapsed = (arrival_ps - self._next_refresh_ps) // trefi_ps
+            boundary = self._next_refresh_ps + elapsed * trefi_ps
             self.refreshes += elapsed + 1
-            self._next_refresh_ps = boundary + self._trefi_ps
+            self._next_refresh_ps = boundary + trefi_ps
             stall_end = boundary + self._trfc_ps
             if self.bus_free_ps < stall_end:
                 self.bus_free_ps = stall_end
@@ -253,29 +288,34 @@ class ChannelController:
                 if bank.busy_until_ps < stall_end:
                     bank.busy_until_ps = stall_end
 
-        bank = self.banks[chosen.bank]
-        data_ready, outcome = bank.access(
-            chosen.row, chosen.arrival_ps, self.timing, self._burst_ps
+        data_ready, outcome = self.banks[bank_idx].access(
+            row, arrival_ps, self.timing, self._burst_ps
         )
         bus_free = self.bus_free_ps
-        if chosen.is_write != self._last_was_write:
+        if is_write != self._last_was_write:
             bus_free += self._turnaround_ps
-            self._last_was_write = chosen.is_write
-        burst_start = data_ready if data_ready > bus_free else bus_free
-        completion = burst_start + self._burst_ps
+            self._last_was_write = is_write
+        completion = (data_ready if data_ready > bus_free else bus_free) + self._burst_ps
         self.bus_free_ps = completion
         if completion > self.last_completion_ps:
             self.last_completion_ps = completion
 
         stats = self.stats
         stats.served += 1
-        if chosen.is_write:
+        if is_write:
             stats.writes += 1
         else:
             stats.reads += 1
         if outcome == ROW_HIT:
             stats.row_hits += 1
-        latency = completion - chosen.account_ps
+        latency = completion - account_ps
         stats.total_latency_ps += latency
-        stats.latency_by_kind[chosen.kind] += latency
-        stats.count_by_kind[chosen.kind] += 1
+        if kind == DEMAND:
+            stats.demand_latency_ps += latency
+            stats.demand_count += 1
+        elif kind == MIGRATION:
+            stats.migration_latency_ps += latency
+            stats.migration_count += 1
+        else:
+            stats.bookkeeping_latency_ps += latency
+            stats.bookkeeping_count += 1

@@ -129,15 +129,7 @@ class MemoryDevice:
         """Sum controller statistics across channels."""
         merged = ControllerStats()
         for ctrl in self.controllers:
-            stats = ctrl.stats
-            merged.served += stats.served
-            merged.reads += stats.reads
-            merged.writes += stats.writes
-            merged.row_hits += stats.row_hits
-            merged.total_latency_ps += stats.total_latency_ps
-            for kind in merged.latency_by_kind:
-                merged.latency_by_kind[kind] += stats.latency_by_kind[kind]
-                merged.count_by_kind[kind] += stats.count_by_kind[kind]
+            merged.merge(ctrl.stats)
         return merged
 
     def row_buffer_hit_rate(self) -> float:

@@ -1,0 +1,11 @@
+"""Opt-in fast replay kernels, bit-identical to the reference loop.
+
+See :mod:`repro.kernel.replay` for the contract and the per-mechanism
+specializations.  Select with ``kernel="fast"`` on
+:func:`repro.system.simulator.simulate` (the default), the
+``REPRO_KERNEL`` environment variable, or ``--kernel`` on the CLI.
+"""
+
+from .replay import fast_simulate
+
+__all__ = ["fast_simulate"]

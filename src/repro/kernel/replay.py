@@ -1,0 +1,650 @@
+"""Batched replay kernels — the reference loop, faster, bit for bit.
+
+The reference path (:func:`repro.system.simulator.reference_simulate`)
+calls ``manager.handle`` per record, which re-resolves the same
+attribute chains and re-takes the same never-taken branches millions of
+times.  The kernels here replay the *identical* sequence of state
+mutations with the per-record overhead hoisted out:
+
+* input comes from a :class:`~repro.trace.packed.PackedTrace`: columnar
+  record fields plus precomputed page numbers and per-record address
+  decodes (channel/bank/row), vectorised through numpy when available
+  and memoised on the trace;
+* one specialised loop per manager type inlines ``handle`` with every
+  attribute lookup bound to a local and the common case fast-pathed —
+  no blocked page (both block structures empty), identity remapping
+  (the sparse tables never store identity entries, so ``get(page) is
+  None`` *is* the identity test), empty swap queue;
+* the CPU throttle samples in chunks of exactly
+  ``THROTTLE_SAMPLE_PERIOD`` records, which is equivalent to the
+  reference countdown because the offset only ever changes at sample
+  points.
+
+**Equality contract**: for every supported configuration the fast
+kernel produces a ``SimulationResult`` equal field-for-field to the
+reference loop's (``tests/test_kernel_differential.py`` enforces this
+across all ``MANAGER_KINDS``).  Guaranteeing that requires exactness,
+not plausibility, so dispatch is deliberately conservative:
+
+* ``type(manager) is X`` — a subclass may override anything, so it
+  falls back to the reference loop;
+* configurations with metadata caches or the CAMEO predictor fall back
+  (their per-record cache state makes hoisting a wash anyway);
+* traces with any out-of-range address fall back, because the direct
+  controller enqueues below bypass ``memory.access`` bounds checking
+  and the reference loop's ``AddressError`` must surface at the same
+  record.
+
+The fallback *is* the reference loop, so ``fast_simulate`` is total:
+anything it cannot accelerate it still simulates correctly.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from ..core.mempod import MemPodManager
+from ..dram.request import DEMAND
+from ..managers.cameo import LINE_BYTES, CameoManager
+from ..managers.hma import HmaManager
+from ..managers.static import NoMigrationManager, SingleLevelManager
+from ..managers.thm import ThmManager
+from ..system.simulator import (
+    DEFAULT_THROTTLE_CAP_PS,
+    THROTTLE_SAMPLE_PERIOD,
+    reference_simulate,
+)
+from ..system.stats import collect_result
+
+try:  # optional accelerator; plane builders have pure-Python twins
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+LINE_SHIFT = LINE_BYTES.bit_length() - 1
+
+
+# -- decode planes ---------------------------------------------------------
+#
+# A plane is a per-record column of precomputed address decode results,
+# cached on the PackedTrace under a key derived from the memory layout —
+# two managers over the same geometry share planes, and a trace replayed
+# at several configurations computes each plane once.
+
+
+def _mapper_key(mapper) -> tuple:
+    return (
+        mapper._row_shift,
+        mapper._bank_shift,
+        mapper._chan_shift,
+        mapper._bank_mask,
+        mapper._chan_mask,
+    )
+
+
+def _single_plane(packed, device):
+    """(controller, bank, row) columns for a single-device memory."""
+    mapper = device.mapper
+    key = ("single", _mapper_key(mapper))
+    plane = packed.planes.get(key)
+    if plane is None:
+        addresses = packed.np_addresses()
+        if addresses is not None:
+            ctrls = ((addresses >> mapper._bank_shift) & mapper._chan_mask).tolist()
+            banks = ((addresses >> mapper._row_shift) & mapper._bank_mask).tolist()
+            rows = (addresses >> mapper._chan_shift).tolist()
+        else:
+            decode = mapper.fast_decode
+            ctrls, banks, rows = [], [], []
+            for address in packed.addresses:
+                channel, bank, row = decode(address)
+                ctrls.append(channel)
+                banks.append(bank)
+                rows.append(row)
+        plane = (ctrls, banks, rows)
+        packed.planes[key] = plane
+    return plane
+
+
+def _hybrid_plane(packed, memory):
+    """(controller, bank, row) columns for a two-device hybrid memory.
+
+    Controller indices are flat across both devices — fast channels
+    first — matching the ``enqueues`` list the replay loops build.
+    """
+    fast_mapper = memory.fast.mapper
+    slow_mapper = memory.slow.mapper
+    fast_bytes = memory.geometry.fast_bytes
+    fast_channels = memory.fast.channels
+    key = (
+        "hybrid",
+        fast_bytes,
+        fast_channels,
+        _mapper_key(fast_mapper),
+        _mapper_key(slow_mapper),
+    )
+    plane = packed.planes.get(key)
+    if plane is None:
+        addresses = packed.np_addresses()
+        if addresses is not None:
+            is_fast = addresses < fast_bytes
+            off = _np.where(is_fast, addresses, addresses - fast_bytes)
+            banks = _np.where(
+                is_fast,
+                (off >> fast_mapper._row_shift) & fast_mapper._bank_mask,
+                (off >> slow_mapper._row_shift) & slow_mapper._bank_mask,
+            ).tolist()
+            ctrls = _np.where(
+                is_fast,
+                (off >> fast_mapper._bank_shift) & fast_mapper._chan_mask,
+                fast_channels
+                + ((off >> slow_mapper._bank_shift) & slow_mapper._chan_mask),
+            ).tolist()
+            rows = _np.where(
+                is_fast,
+                off >> fast_mapper._chan_shift,
+                off >> slow_mapper._chan_shift,
+            ).tolist()
+        else:
+            fast_decode = fast_mapper.fast_decode
+            slow_decode = slow_mapper.fast_decode
+            ctrls, banks, rows = [], [], []
+            for address in packed.addresses:
+                if address < fast_bytes:
+                    channel, bank, row = fast_decode(address)
+                else:
+                    channel, bank, row = slow_decode(address - fast_bytes)
+                    channel += fast_channels
+                ctrls.append(channel)
+                banks.append(bank)
+                rows.append(row)
+        plane = (ctrls, banks, rows)
+        packed.planes[key] = plane
+    return plane
+
+
+def _mempod_pod_plane(packed, manager):
+    """Owning-pod id per record (MemPod's inlined pod-of-page formula)."""
+    key = (
+        "mempod-pods",
+        manager._page_shift,
+        manager._fast_pages,
+        manager._ppr,
+        manager._fast_chan,
+        manager._fast_cpp,
+        manager._slow_chan,
+        manager._slow_cpp,
+    )
+    plane = packed.planes.get(key)
+    if plane is None:
+        pages = packed.pages(manager._page_shift)
+        fast_pages = manager._fast_pages
+        ppr = manager._ppr
+        fast_chan = manager._fast_chan
+        fast_cpp = manager._fast_cpp
+        slow_chan = manager._slow_chan
+        slow_cpp = manager._slow_cpp
+        if _np is not None:
+            page_col = _np.asarray(pages, dtype=_np.int64)
+            plane = _np.where(
+                page_col < fast_pages,
+                ((page_col // ppr) % fast_chan) // fast_cpp,
+                (((page_col - fast_pages) // ppr) % slow_chan) // slow_cpp,
+            ).tolist()
+        else:
+            plane = [
+                ((page // ppr) % fast_chan) // fast_cpp
+                if page < fast_pages
+                else (((page - fast_pages) // ppr) % slow_chan) // slow_cpp
+                for page in pages
+            ]
+        packed.planes[key] = plane
+    return plane
+
+
+def _thm_segment_plane(packed, manager):
+    """THM segment id per record (``segment_of`` over the page column)."""
+    fast_pages = manager.geometry.fast_pages
+    shift = manager._page_shift
+    key = ("thm-segments", shift, fast_pages)
+    plane = packed.planes.get(key)
+    if plane is None:
+        pages = packed.pages(shift)
+        if _np is not None:
+            page_col = _np.asarray(pages, dtype=_np.int64)
+            plane = _np.where(
+                page_col < fast_pages, page_col, (page_col - fast_pages) % fast_pages
+            ).tolist()
+        else:
+            plane = [
+                page if page < fast_pages else (page - fast_pages) % fast_pages
+                for page in pages
+            ]
+        packed.planes[key] = plane
+    return plane
+
+
+def _hybrid_controllers(memory):
+    """Flat controller list matching :func:`_hybrid_plane` indices."""
+    return list(memory.fast.controllers) + list(memory.slow.controllers)
+
+
+# -- replay loops ----------------------------------------------------------
+#
+# Shared chunk scaffolding, repeated per kernel so every name in the hot
+# loop is a local: process runs of THROTTLE_SAMPLE_PERIOD records, then
+# sample the CPU throttle exactly as the reference countdown would.  The
+# arrival offset only changes at sample points, so `arrivals[end-1] +
+# offset` equals the reference's per-record `last_ps` at chunk end.
+
+
+def _replay_tlm(trace, packed, manager, throttle_cap_ps):
+    """TLM baseline: every record is one DEMAND enqueue, no remapping."""
+    ctrls = _hybrid_controllers(manager.memory)
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, manager.memory)
+    return _replay_direct(
+        trace, packed, manager, throttle_cap_ps,
+        ctrls, enqueues, plane_ctrl, plane_bank, plane_row,
+    )
+
+
+def _replay_single(trace, packed, manager, throttle_cap_ps):
+    """HBM-only / DDR-only: one device, no remapping."""
+    device = manager.memory.device
+    ctrls = device.controllers
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    plane_ctrl, plane_bank, plane_row = _single_plane(packed, device)
+    return _replay_direct(
+        trace, packed, manager, throttle_cap_ps,
+        ctrls, enqueues, plane_ctrl, plane_bank, plane_row,
+    )
+
+
+def _replay_direct(
+    trace, packed, manager, throttle_cap_ps,
+    ctrls, enqueues, plane_ctrl, plane_bank, plane_row,
+):
+    """Shared loop for managers whose handle() is a bare memory access."""
+    arrivals = packed.arrivals
+    records = zip(arrivals, packed.is_writes, plane_ctrl, plane_bank, plane_row)
+    total = packed.length
+    last_ps = 0
+    offset = 0
+    pos = 0
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    while pos < total:
+        end = pos + sample if sample else total
+        if end > total:
+            end = total
+        if offset:
+            for arrival, is_write, ci, bank, row in islice(records, end - pos):
+                enqueues[ci](bank, row, is_write, arrival + offset)
+        else:
+            for arrival, is_write, ci, bank, row in islice(records, end - pos):
+                enqueues[ci](bank, row, is_write, arrival)
+        last_ps = arrivals[end - 1] + offset
+        if end - pos == sample:
+            peak = 0
+            for ctrl in ctrls:
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            backlog = peak - last_ps
+            if backlog > throttle_cap_ps:
+                offset += backlog - throttle_cap_ps
+        pos = end
+    end_ps = manager.finish(last_ps)
+    return collect_result(manager, trace, end_ps)
+
+
+def _replay_mempod(trace, packed, manager, throttle_cap_ps):
+    """MemPod without a metadata cache: boundary ticks, paced swaps,
+    per-pod MEA recording and remap lookup, block penalties."""
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
+    pages = packed.pages(manager._page_shift)
+    pod_ids = _mempod_pod_plane(packed, manager)
+    observe = [pod.mea.record for pod in manager.pods]
+    forward_get = [pod.remap._forward.get for pod in manager.pods]
+    access = memory.access
+    block_penalty = manager._block_penalty_ps
+    blocked = manager._blocked
+    expiry = manager._blocked_expiry
+    queue = manager._swap_queue
+    issue_swaps = manager._issue_due_swaps
+    run_boundary = manager._run_boundary
+    interval = manager.interval_ps
+    next_boundary = manager._next_boundary_ps
+    page_shift = manager._page_shift
+    page_mask = manager._page_mask
+    demand = DEMAND
+
+    arrivals = packed.arrivals
+    records = zip(
+        arrivals, packed.is_writes, packed.addresses, pages, pod_ids,
+        plane_ctrl, plane_bank, plane_row,
+    )
+    total = packed.length
+    last_ps = 0
+    offset = 0
+    pos = 0
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    while pos < total:
+        end = pos + sample if sample else total
+        if end > total:
+            end = total
+        for arrival, is_write, address, page, pod_id, ci, bank, row in islice(
+            records, end - pos
+        ):
+            arrival += offset
+            while arrival >= next_boundary:
+                run_boundary(next_boundary)
+                next_boundary += interval
+            if queue and queue[0][0] <= arrival:
+                issue_swaps(arrival)
+            observe[pod_id](page)
+            if blocked or expiry:
+                penalty = block_penalty(page, arrival)
+            else:
+                penalty = 0
+            frame = forward_get[pod_id](page)
+            if frame is None:
+                enqueues[ci](bank, row, is_write, arrival, demand, arrival - penalty)
+            else:
+                access(
+                    (frame << page_shift) | (address & page_mask),
+                    is_write, arrival, demand, arrival - penalty,
+                )
+        last_ps = arrivals[end - 1] + offset
+        if end - pos == sample:
+            peak = 0
+            for ctrl in ctrls:
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            backlog = peak - last_ps
+            if backlog > throttle_cap_ps:
+                offset += backlog - throttle_cap_ps
+        pos = end
+    manager._next_boundary_ps = next_boundary
+    end_ps = manager.finish(last_ps)
+    return collect_result(manager, trace, end_ps)
+
+
+def _replay_hma(trace, packed, manager, throttle_cap_ps):
+    """HMA without a counter cache: epoch ticks, paced swaps, full-counter
+    recording, page-table lookup, block penalties."""
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
+    pages = packed.pages(manager._page_shift)
+    record = manager.tracker.record
+    location_get = manager._location.get
+    access = memory.access
+    block_penalty = manager._block_penalty_ps
+    blocked = manager._blocked
+    expiry = manager._blocked_expiry
+    queue = manager._swap_queue
+    issue_swaps = manager._issue_due_swaps
+    run_epoch = manager._run_epoch
+    interval = manager.interval_ps
+    next_boundary = manager._next_boundary_ps
+    page_shift = manager._page_shift
+    page_mask = manager._page_mask
+    demand = DEMAND
+
+    arrivals = packed.arrivals
+    records = zip(
+        arrivals, packed.is_writes, packed.addresses, pages,
+        plane_ctrl, plane_bank, plane_row,
+    )
+    total = packed.length
+    last_ps = 0
+    offset = 0
+    pos = 0
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    while pos < total:
+        end = pos + sample if sample else total
+        if end > total:
+            end = total
+        for arrival, is_write, address, page, ci, bank, row in islice(
+            records, end - pos
+        ):
+            arrival += offset
+            while arrival >= next_boundary:
+                run_epoch(next_boundary)
+                next_boundary += interval
+            if queue and queue[0][0] <= arrival:
+                issue_swaps(arrival)
+            record(page)
+            if blocked or expiry:
+                penalty = block_penalty(page, arrival)
+            else:
+                penalty = 0
+            frame = location_get(page)
+            if frame is None:
+                enqueues[ci](bank, row, is_write, arrival, demand, arrival - penalty)
+            else:
+                access(
+                    (frame << page_shift) | (address & page_mask),
+                    is_write, arrival, demand, arrival - penalty,
+                )
+        last_ps = arrivals[end - 1] + offset
+        if end - pos == sample:
+            peak = 0
+            for ctrl in ctrls:
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            backlog = peak - last_ps
+            if backlog > throttle_cap_ps:
+                offset += backlog - throttle_cap_ps
+        pos = end
+    manager._next_boundary_ps = next_boundary
+    end_ps = manager.finish(last_ps)
+    return collect_result(manager, trace, end_ps)
+
+
+def _replay_thm(trace, packed, manager, throttle_cap_ps):
+    """THM without an SRT cache: competing counters, inline migration,
+    segment-local remap, block penalties."""
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
+    pages = packed.pages(manager._page_shift)
+    segments = _thm_segment_plane(packed, manager)
+    access_resident = manager.counters.access_resident
+    access_challenger = manager.counters.access_challenger
+    migrate = manager._migrate
+    location_get = manager._location.get
+    access = memory.access
+    block_penalty = manager._block_penalty_ps
+    blocked = manager._blocked
+    expiry = manager._blocked_expiry
+    fast_pages = manager.geometry.fast_pages
+    page_shift = manager._page_shift
+    page_mask = manager._page_mask
+    demand = DEMAND
+
+    arrivals = packed.arrivals
+    records = zip(
+        arrivals, packed.is_writes, packed.addresses, pages, segments,
+        plane_ctrl, plane_bank, plane_row,
+    )
+    total = packed.length
+    last_ps = 0
+    offset = 0
+    pos = 0
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    while pos < total:
+        end = pos + sample if sample else total
+        if end > total:
+            end = total
+        for arrival, is_write, address, page, segment, ci, bank, row in islice(
+            records, end - pos
+        ):
+            arrival += offset
+            if blocked or expiry:
+                penalty = block_penalty(page, arrival)
+            else:
+                penalty = 0
+            frame = location_get(page)
+            if frame is None:
+                # Identity mapping: the decode plane is exact, and a
+                # fast-resident page only defends its counter.
+                if page < fast_pages:
+                    access_resident(segment)
+                    enqueues[ci](
+                        bank, row, is_write, arrival, demand, arrival - penalty
+                    )
+                else:
+                    challenger = access_challenger(segment, page)
+                    if challenger is None:
+                        enqueues[ci](
+                            bank, row, is_write, arrival, demand, arrival - penalty
+                        )
+                    else:
+                        penalty += migrate(segment, challenger, arrival)
+                        frame = location_get(page, page)
+                        access(
+                            (frame << page_shift) | (address & page_mask),
+                            is_write, arrival, demand, arrival - penalty,
+                        )
+            else:
+                if frame < fast_pages:
+                    access_resident(segment)
+                else:
+                    challenger = access_challenger(segment, page)
+                    if challenger is not None:
+                        penalty += migrate(segment, challenger, arrival)
+                        frame = location_get(page, page)
+                access(
+                    (frame << page_shift) | (address & page_mask),
+                    is_write, arrival, demand, arrival - penalty,
+                )
+        last_ps = arrivals[end - 1] + offset
+        if end - pos == sample:
+            peak = 0
+            for ctrl in ctrls:
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            backlog = peak - last_ps
+            if backlog > throttle_cap_ps:
+                offset += backlog - throttle_cap_ps
+        pos = end
+    end_ps = manager.finish(last_ps)
+    return collect_result(manager, trace, end_ps)
+
+
+def _replay_cameo(trace, packed, manager, throttle_cap_ps):
+    """CAMEO without the location predictor.
+
+    Fast path: an identity-mapped fast-resident line that is not on the
+    untouched list — serve it directly (the decode plane is computed
+    from the original address, whose low six line-offset bits sit below
+    every mapper shift, so channel/bank/row match ``line * 64``
+    exactly).  Everything else — any slow access (it always swaps), any
+    remapped line, any untouched-list hit — replays through the real
+    ``handle`` so the swap/eviction bookkeeping stays exact.
+    """
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
+    lines = packed.pages(LINE_SHIFT)
+    location_get = manager._location.get
+    untouched = manager._untouched_in_fast
+    fast_lines = manager.fast_lines
+    handle = manager.handle
+    block_penalty = manager._block_penalty_ps
+    blocked = manager._blocked
+    expiry = manager._blocked_expiry
+    demand = DEMAND
+
+    arrivals = packed.arrivals
+    records = zip(
+        arrivals, packed.is_writes, packed.addresses, packed.cores, lines,
+        plane_ctrl, plane_bank, plane_row,
+    )
+    total = packed.length
+    last_ps = 0
+    offset = 0
+    pos = 0
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    while pos < total:
+        end = pos + sample if sample else total
+        if end > total:
+            end = total
+        for arrival, is_write, address, core, line, ci, bank, row in islice(
+            records, end - pos
+        ):
+            arrival += offset
+            if (
+                line < fast_lines
+                and location_get(line) is None
+                and line not in untouched
+            ):
+                if blocked or expiry:
+                    penalty = block_penalty(line, arrival)
+                else:
+                    penalty = 0
+                enqueues[ci](bank, row, is_write, arrival, demand, arrival - penalty)
+            else:
+                handle(address, is_write, arrival, core)
+        last_ps = arrivals[end - 1] + offset
+        if end - pos == sample:
+            peak = 0
+            for ctrl in ctrls:
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            backlog = peak - last_ps
+            if backlog > throttle_cap_ps:
+                offset += backlog - throttle_cap_ps
+        pos = end
+    end_ps = manager.finish(last_ps)
+    return collect_result(manager, trace, end_ps)
+
+
+# -- dispatch --------------------------------------------------------------
+
+
+def fast_simulate(trace, manager, throttle_cap_ps=DEFAULT_THROTTLE_CAP_PS):
+    """Replay ``trace`` through ``manager`` on the fastest exact path.
+
+    Drop-in equivalent of
+    :func:`repro.system.simulator.reference_simulate`: same arguments,
+    same result, same exceptions.  Unsupported configurations (manager
+    subclasses, metadata caches, the CAMEO predictor, out-of-range
+    traces) fall back to the reference loop.
+    """
+    manager_type = type(manager)
+    if manager_type is NoMigrationManager:
+        kernel = _replay_tlm
+    elif manager_type is MemPodManager:
+        kernel = _replay_mempod if manager._caches is None else None
+    elif manager_type is SingleLevelManager:
+        kernel = _replay_single
+    elif manager_type is HmaManager:
+        kernel = _replay_hma if manager._cache is None else None
+    elif manager_type is ThmManager:
+        kernel = _replay_thm if manager._cache is None else None
+    elif manager_type is CameoManager:
+        kernel = _replay_cameo if not manager.predictor_entries else None
+    else:
+        kernel = None
+    if kernel is None:
+        return reference_simulate(trace, manager, throttle_cap_ps)
+    packed = trace.packed()
+    if packed.max_address >= manager.geometry.total_bytes:
+        # The direct enqueues bypass memory.access bounds checking; an
+        # out-of-range record must raise AddressError at exactly the
+        # reference loop's point of failure, so replay it the slow way.
+        return reference_simulate(trace, manager, throttle_cap_ps)
+    return kernel(trace, packed, manager, throttle_cap_ps)

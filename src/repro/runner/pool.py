@@ -35,7 +35,8 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
 
 #: fingerprint schema version — bump when the payload layout changes
-SCHEMA_VERSION = 1
+#: (v2: cells carry the replay-kernel choice)
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,11 @@ class SimCell:
 
     ``params`` is a sorted tuple of ``(name, value)`` pairs so the cell
     is hashable, picklable, and fingerprints canonically.
+
+    ``kernel`` names the replay implementation.  The two kernels are
+    proven result-identical, but the choice is still fingerprinted: a
+    cached cell must record exactly how it was produced, so a kernel
+    divergence bug could never be masked by stale cache hits.
     """
 
     config: "ExperimentConfig"
@@ -51,6 +57,7 @@ class SimCell:
     kind: str
     future_tech: bool = False
     params: Tuple[Tuple[str, Any], ...] = ()
+    kernel: str = "fast"
 
     @property
     def label(self) -> str:
@@ -71,6 +78,7 @@ class SimCell:
             "kind": self.kind,
             "future_tech": self.future_tech,
             "params": dict(self.params),
+            "kernel": self.kernel,
         }
 
     def compute(self):
@@ -84,6 +92,7 @@ class SimCell:
             self.kind,
             self.config.geometry,
             future_tech=self.future_tech,
+            kernel=self.kernel,
             **dict(self.params),
         )
 
@@ -139,9 +148,22 @@ def sim_cell(
     future_tech: bool = False,
     **params,
 ) -> SimCell:
-    """Build a :class:`SimCell` with canonically ordered parameters."""
+    """Build a :class:`SimCell` with canonically ordered parameters.
+
+    The replay kernel is resolved *here* (explicit ``$REPRO_KERNEL`` or
+    the default) rather than in the worker, so every cell of a sweep
+    records the same, deterministic kernel choice regardless of worker
+    environment.
+    """
+    from ..system.simulator import resolve_kernel
+
     return SimCell(
-        config, workload, kind, future_tech, tuple(sorted(params.items()))
+        config,
+        workload,
+        kind,
+        future_tech,
+        tuple(sorted(params.items())),
+        kernel=resolve_kernel(),
     )
 
 

@@ -127,15 +127,7 @@ class HybridMemory:
         """Controller statistics summed over both devices."""
         merged = ControllerStats()
         for device in (self.fast, self.slow):
-            stats = device.merged_stats()
-            merged.served += stats.served
-            merged.reads += stats.reads
-            merged.writes += stats.writes
-            merged.row_hits += stats.row_hits
-            merged.total_latency_ps += stats.total_latency_ps
-            for kind in merged.latency_by_kind:
-                merged.latency_by_kind[kind] += stats.latency_by_kind[kind]
-                merged.count_by_kind[kind] += stats.count_by_kind[kind]
+            merged.merge(device.merged_stats())
         return merged
 
 

@@ -14,6 +14,9 @@ Figure 10 "future technology" preset when asked.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 from ..common.config import require_in
 from ..common.errors import ConfigError
 from ..common.units import ms
@@ -100,13 +103,35 @@ def build_manager(
 DEFAULT_THROTTLE_CAP_PS = 1_000_000  # 1 us of backlog
 THROTTLE_SAMPLE_PERIOD = 128
 
+# Replay kernel selection.  "reference" is the obviously-correct
+# per-record loop below; "fast" is the batched kernel in
+# ``repro.kernel`` proven bit-identical by the differential suite
+# (tests/test_kernel_differential.py) and kept as the default.  The
+# environment variable provides an ambient override, mirroring the
+# other REPRO_* switches, so sweeps and the CLI can flip every
+# simulation at once.
+KERNEL_KINDS = ("reference", "fast")
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+DEFAULT_KERNEL = "fast"
 
-def simulate(
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Resolve a kernel choice: explicit > ``$REPRO_KERNEL`` > default."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or DEFAULT_KERNEL
+    require_in("kernel", kernel, KERNEL_KINDS)
+    return kernel
+
+
+def reference_simulate(
     trace: Trace,
     manager: MemoryManager,
     throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
 ) -> SimulationResult:
-    """Replay ``trace`` through ``manager`` and collect the result.
+    """The reference replay loop: one ``handle`` call per record.
+
+    This is the semantic definition the fast kernel is held to; it is
+    deliberately a thin, obviously-correct loop.
 
     A trace is open-loop: its timestamps were recorded against *some*
     memory system, and a mechanism slower than that system would
@@ -139,6 +164,25 @@ def simulate(
     return collect_result(manager, trace, end_ps)
 
 
+def simulate(
+    trace: Trace,
+    manager: MemoryManager,
+    throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
+    kernel: Optional[str] = None,
+) -> SimulationResult:
+    """Replay ``trace`` through ``manager`` and collect the result.
+
+    ``kernel`` selects the replay implementation (see
+    :func:`resolve_kernel`); both produce identical results, so the
+    choice is purely a speed/debuggability trade.
+    """
+    if resolve_kernel(kernel) == "fast":
+        from ..kernel.replay import fast_simulate  # lazy: avoids an import cycle
+
+        return fast_simulate(trace, manager, throttle_cap_ps)
+    return reference_simulate(trace, manager, throttle_cap_ps)
+
+
 def run(
     trace: Trace,
     kind: str,
@@ -146,10 +190,11 @@ def run(
     future_tech: bool = False,
     window: int = 8,
     throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
+    kernel: Optional[str] = None,
     **params,
 ) -> SimulationResult:
     """One-call convenience: build the manager and replay the trace."""
     manager = build_manager(
         kind, geometry, future_tech=future_tech, window=window, **params
     )
-    return simulate(trace, manager, throttle_cap_ps=throttle_cap_ps)
+    return simulate(trace, manager, throttle_cap_ps=throttle_cap_ps, kernel=kernel)

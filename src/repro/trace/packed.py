@@ -1,0 +1,84 @@
+"""Packed struct-of-arrays trace representation.
+
+The reference :class:`~repro.trace.record.Trace` stores one tuple per
+record, which is the right interchange format but a poor replay format:
+the hot loops touch one field at a time and recompute page numbers and
+address decodes per record.  :class:`PackedTrace` stores the same data
+as parallel columns (plain lists — the fastest thing CPython iterates)
+plus memoised derived columns:
+
+* page numbers for any page-size shift (``pages``),
+* per-memory-layout address decode planes (channel/bank/row), cached in
+  :attr:`planes` under a layout key chosen by the kernel.
+
+Derived columns are computed vectorised through numpy when it is
+available and with plain comprehensions otherwise — numpy is an
+accelerator here, never a requirement.
+
+A packed trace is a *view* of an immutable record list: it is built
+once per :class:`Trace` (see :meth:`Trace.packed`) and assumes the
+records do not change afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+try:  # optional accelerator; every path below has a pure-Python twin
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+
+class PackedTrace:
+    """Columnar view of a trace's records with memoised decode planes."""
+
+    __slots__ = (
+        "length",
+        "arrivals",
+        "addresses",
+        "is_writes",
+        "cores",
+        "max_address",
+        "planes",
+        "_np_addresses",
+        "_pages",
+    )
+
+    def __init__(self, records: Sequence[Tuple[int, int, int, int]]) -> None:
+        self.length = len(records)
+        if records:
+            arrivals, addresses, is_writes, cores = map(list, zip(*records))
+        else:
+            arrivals, addresses, is_writes, cores = [], [], [], []
+        self.arrivals: List[int] = arrivals
+        self.addresses: List[int] = addresses
+        self.is_writes: List[int] = is_writes
+        self.cores: List[int] = cores
+        self.max_address: int = max(addresses) if addresses else -1
+        #: kernel-managed cache: memory-layout key -> decode plane tuple
+        self.planes: Dict[tuple, tuple] = {}
+        self._np_addresses = None
+        self._pages: Dict[int, List[int]] = {}
+
+    def np_addresses(self):
+        """The address column as an int64 numpy array (``None`` without
+        numpy); built once and reused by every plane computation."""
+        if _np is None:
+            return None
+        if self._np_addresses is None:
+            self._np_addresses = _np.asarray(self.addresses, dtype=_np.int64)
+        return self._np_addresses
+
+    def pages(self, page_shift: int) -> List[int]:
+        """Page number of every record for ``page_bytes = 1 << page_shift``
+        (memoised per shift — managers at different page sizes coexist)."""
+        cached = self._pages.get(page_shift)
+        if cached is None:
+            addresses = self.np_addresses()
+            if addresses is not None:
+                cached = (addresses >> page_shift).tolist()
+            else:
+                cached = [address >> page_shift for address in self.addresses]
+            self._pages[page_shift] = cached
+        return cached

@@ -90,16 +90,46 @@ class Trace:
     def pages_touched(self) -> "set[int]":
         """Distinct page numbers referenced by the trace."""
         page = self.page_bytes
+        if page & (page - 1) == 0:
+            shift = page.bit_length() - 1
+            return {r[1] >> shift for r in self.records}
         return {r[1] // page for r in self.records}
 
     def page_sequence(self) -> List[int]:
         """Page number of every record, in order (tracker-study input)."""
         page = self.page_bytes
+        if page & (page - 1) == 0:
+            shift = page.bit_length() - 1
+            return [r[1] >> shift for r in self.records]
         return [r[1] // page for r in self.records]
 
     def sliced(self, start: int, stop: int) -> "Trace":
-        """A new trace holding ``records[start:stop]`` (metadata shared)."""
-        return Trace(name=self.name, records=self.records[start:stop], page_bytes=self.page_bytes)
+        """A new trace holding ``records[start:stop]`` (metadata shared).
+
+        A slice of an already-validated monotone record list is itself
+        valid, so the copy skips re-validation — slicing large traces is
+        on the sweep-construction path.
+        """
+        clone = object.__new__(type(self))
+        clone.name = self.name
+        clone.records = self.records[start:stop]
+        clone.page_bytes = self.page_bytes
+        return clone
+
+    def packed(self):
+        """Columnar :class:`~repro.trace.packed.PackedTrace` view.
+
+        Cached on the trace; rebuilt if the record list was replaced or
+        resized since the last call (records are treated as immutable
+        otherwise).
+        """
+        from .packed import PackedTrace
+
+        cached = getattr(self, "_packed_cache", None)
+        if cached is None or cached.length != len(self.records):
+            cached = PackedTrace(self.records)
+            self._packed_cache = cached
+        return cached
 
     @classmethod
     def from_records(

@@ -178,3 +178,41 @@ class TestValidation:
         ctrl.enqueue(0, 0, False, 0)
         ctrl.flush()
         assert ctrl.stats.row_hit_rate == pytest.approx(0.5)
+
+
+class TestControllerStatsFields:
+    """The per-kind tallies are plain int fields; the dict views the
+    older callers use are derived properties over the closed kind set."""
+
+    def test_kind_dicts_are_views_over_int_fields(self):
+        ctrl = make_controller()
+        ctrl.enqueue(0, 0, False, 0, kind=DEMAND)
+        ctrl.enqueue(1, 0, True, 0, kind=MIGRATION)
+        ctrl.enqueue(2, 0, False, 0, kind=BOOKKEEPING)
+        ctrl.flush()
+        stats = ctrl.stats
+        assert stats.demand_count == 1
+        assert stats.migration_count == 1
+        assert stats.bookkeeping_count == 1
+        assert stats.count_by_kind == {DEMAND: 1, MIGRATION: 1, BOOKKEEPING: 1}
+        assert stats.latency_by_kind == {
+            DEMAND: stats.demand_latency_ps,
+            MIGRATION: stats.migration_latency_ps,
+            BOOKKEEPING: stats.bookkeeping_latency_ps,
+        }
+        assert stats.total_latency_ps == sum(stats.latency_by_kind.values())
+
+    def test_merge_accumulates_fieldwise(self):
+        from repro.dram.controller import ControllerStats
+
+        a = ControllerStats(served=2, reads=1, writes=1, row_hits=1,
+                            total_latency_ps=100, demand_latency_ps=60,
+                            migration_latency_ps=40, demand_count=1,
+                            migration_count=1)
+        b = ControllerStats(served=1, reads=1, bookkeeping_latency_ps=9,
+                            bookkeeping_count=1, total_latency_ps=9)
+        a.merge(b)
+        assert a.served == 3
+        assert a.reads == 2
+        assert a.count_by_kind == {DEMAND: 1, MIGRATION: 1, BOOKKEEPING: 1}
+        assert a.total_latency_ps == 109

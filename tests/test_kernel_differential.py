@@ -1,0 +1,170 @@
+"""Differential suite: the fast kernel must equal the reference loop.
+
+This is the contract that lets ``kernel="fast"`` be the default: for
+every mechanism in ``MANAGER_KINDS``, across workloads, seeds, cache
+configurations, and throttle settings, the fast kernel's
+``SimulationResult`` must equal the reference loop's **field for
+field** — not approximately, identically.  Any divergence is a kernel
+bug by definition (the reference loop is the semantic spec).
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.geometry import scaled_geometry
+from repro.system.simulator import (
+    MANAGER_KINDS,
+    build_manager,
+    reference_simulate,
+    resolve_kernel,
+    simulate,
+)
+from repro.trace import build_trace, get_workload
+from repro.trace.record import Trace
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return scaled_geometry(32)
+
+
+def _trace(geometry, workload, length=6_000, seed=3):
+    return build_trace(get_workload(workload), geometry, length=length, seed=seed).trace
+
+
+def assert_kernels_agree(trace, geometry, kind, throttle_cap_ps=1_000_000, **params):
+    reference = reference_simulate(
+        trace, build_manager(kind, geometry, **params), throttle_cap_ps=throttle_cap_ps
+    )
+    fast = simulate(
+        trace,
+        build_manager(kind, geometry, **params),
+        throttle_cap_ps=throttle_cap_ps,
+        kernel="fast",
+    )
+    assert asdict(fast) == asdict(reference)
+
+
+class TestEveryMechanism:
+    @pytest.mark.parametrize("kind", MANAGER_KINDS)
+    @pytest.mark.parametrize("workload", ["xalanc", "mix8"])
+    def test_default_config(self, geometry, kind, workload):
+        assert_kernels_agree(_trace(geometry, workload), geometry, kind)
+
+    @pytest.mark.parametrize("kind", MANAGER_KINDS)
+    def test_unthrottled(self, geometry, kind):
+        assert_kernels_agree(
+            _trace(geometry, "libquantum"), geometry, kind, throttle_cap_ps=0
+        )
+
+    @pytest.mark.parametrize("kind", MANAGER_KINDS)
+    def test_second_seed(self, geometry, kind):
+        assert_kernels_agree(
+            _trace(geometry, "mix9", seed=17), geometry, kind
+        )
+
+
+class TestFallbackConfigurations:
+    """Cache/predictor configs run through the reference fallback inside
+    fast_simulate; equality must still hold end to end."""
+
+    def test_mempod_with_remap_cache(self, geometry):
+        assert_kernels_agree(
+            _trace(geometry, "xalanc"), geometry, "mempod", cache_bytes=4096
+        )
+
+    def test_hma_stall_penalty_mode(self, geometry):
+        assert_kernels_agree(
+            _trace(geometry, "xalanc"), geometry, "hma", penalty_mode="stall"
+        )
+
+    def test_hma_with_counter_cache(self, geometry):
+        assert_kernels_agree(
+            _trace(geometry, "mix8"), geometry, "hma", cache_bytes=4096
+        )
+
+    def test_thm_with_srt_cache(self, geometry):
+        assert_kernels_agree(
+            _trace(geometry, "mix8"), geometry, "thm", cache_bytes=4096
+        )
+
+    def test_cameo_with_predictor(self, geometry):
+        assert_kernels_agree(
+            _trace(geometry, "xalanc"), geometry, "cameo", predictor_entries=64
+        )
+
+    def test_manager_subclass_falls_back(self, geometry):
+        """A subclass may override anything; dispatch must not trust it."""
+        from repro.kernel import replay
+        from repro.managers.static import NoMigrationManager
+
+        calls = []
+
+        class Audited(NoMigrationManager):
+            def handle(self, address, is_write, arrival_ps, core):
+                calls.append(address)
+                super().handle(address, is_write, arrival_ps, core)
+
+        trace = _trace(geometry, "xalanc", length=500)
+        memory = build_manager("tlm", geometry).memory
+        result = replay.fast_simulate(trace, Audited(memory, geometry))
+        assert len(calls) == len(trace)  # went through handle, not the kernel
+        reference = reference_simulate(trace, build_manager("tlm", geometry))
+        assert asdict(result) == asdict(reference)
+
+
+class TestEdgeTraces:
+    def test_empty_trace(self, geometry):
+        trace = Trace(name="empty", records=[])
+        assert_kernels_agree(trace, geometry, "mempod")
+
+    def test_single_record(self, geometry):
+        trace = Trace(name="one", records=[(0, 4096, 1, 0)])
+        assert_kernels_agree(trace, geometry, "tlm")
+
+    def test_boundary_heavy_trace(self, geometry):
+        # Arrivals spanning many MemPod intervals, exercising the
+        # boundary loop and the paced-swap queue from the kernel side.
+        records = [(i * 3_000_000, (i * 8192) % (1 << 22), i % 2, 0) for i in range(512)]
+        trace = Trace(name="sparse", records=records)
+        for kind in ("mempod", "hma", "thm"):
+            assert_kernels_agree(trace, geometry, kind)
+
+    def test_out_of_range_address_raises_identically(self, geometry):
+        bad = Trace(
+            name="bad", records=[(0, 0, 0, 0), (100, geometry.total_bytes + 64, 0, 0)]
+        )
+        with pytest.raises(AddressError):
+            reference_simulate(bad, build_manager("tlm", geometry))
+        with pytest.raises(AddressError):
+            simulate(bad, build_manager("tlm", geometry), kernel="fast")
+
+
+class TestKernelSelection:
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel() == "fast"
+        assert resolve_kernel("reference") == "reference"
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        assert resolve_kernel() == "reference"
+        assert resolve_kernel("fast") == "fast"  # explicit beats env
+
+    def test_rejects_unknown_kernel(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            resolve_kernel("turbo")
+
+    def test_sim_cell_records_ambient_kernel(self, monkeypatch):
+        from repro.experiments.common import ExperimentConfig
+        from repro.runner.pool import sim_cell
+
+        config = ExperimentConfig(scale=64, length=100, seed=1)
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        cell = sim_cell(config, "xalanc", "tlm")
+        assert cell.kernel == "reference"
+        assert cell.payload()["kernel"] == "reference"
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert sim_cell(config, "xalanc", "tlm").kernel == "fast"

@@ -36,10 +36,10 @@ def replay(transactions, timing=NO_REFRESH_HBM, window=8):
 
     def tracking(idx):
         before = ctrl.stats.served
-        item = ctrl._pending[idx]
+        arrival_ps = ctrl._pending[idx][0]
         original(idx)
         assert ctrl.stats.served == before + 1
-        completions.append((item.arrival_ps, ctrl.last_completion_ps))
+        completions.append((arrival_ps, ctrl.last_completion_ps))
 
     ctrl._service_at = tracking
     now = 0

@@ -1,0 +1,99 @@
+"""PackedTrace, the Trace.packed() cache, sliced(), and page math."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.packed import PackedTrace
+from repro.trace.record import Trace
+
+
+RECORDS = [
+    (0, 0, 0, 0),
+    (10, 2048, 1, 1),
+    (25, 4096 + 64, 0, 2),
+    (25, 123_456, 1, 3),
+    (90, 7 * 2048 + 100, 0, 0),
+]
+
+
+class TestPackedTrace:
+    def test_columns_mirror_records(self):
+        packed = PackedTrace(RECORDS)
+        assert packed.length == len(RECORDS)
+        assert packed.arrivals == [r[0] for r in RECORDS]
+        assert packed.addresses == [r[1] for r in RECORDS]
+        assert packed.is_writes == [r[2] for r in RECORDS]
+        assert packed.cores == [r[3] for r in RECORDS]
+        assert packed.max_address == max(r[1] for r in RECORDS)
+
+    def test_empty(self):
+        packed = PackedTrace([])
+        assert packed.length == 0
+        assert packed.arrivals == []
+        assert packed.max_address == -1
+        assert packed.pages(11) == []
+
+    def test_pages_match_division(self):
+        packed = PackedTrace(RECORDS)
+        assert packed.pages(11) == [r[1] // 2048 for r in RECORDS]
+        assert packed.pages(6) == [r[1] // 64 for r in RECORDS]
+
+    def test_pages_cached_per_shift(self):
+        packed = PackedTrace(RECORDS)
+        assert packed.pages(11) is packed.pages(11)
+        assert packed.pages(11) is not packed.pages(6)
+
+    def test_planes_dict_is_writable_cache(self):
+        packed = PackedTrace(RECORDS)
+        packed.planes[("k",)] = ([1], [2], [3])
+        assert packed.planes[("k",)] == ([1], [2], [3])
+
+
+class TestTracePackedAccessor:
+    def test_packed_is_cached(self):
+        trace = Trace(name="t", records=list(RECORDS))
+        assert trace.packed() is trace.packed()
+
+    def test_packed_rebuilds_after_resize(self):
+        trace = Trace(name="t", records=list(RECORDS))
+        first = trace.packed()
+        trace.records.append((120, 2048, 0, 0))
+        second = trace.packed()
+        assert second is not first
+        assert second.length == len(RECORDS) + 1
+
+
+class TestSliced:
+    def test_sliced_preserves_contents(self):
+        trace = Trace(name="t", records=list(RECORDS), page_bytes=1024)
+        part = trace.sliced(1, 4)
+        assert part.records == RECORDS[1:4]
+        assert part.name == "t"
+        assert part.page_bytes == 1024
+
+    def test_sliced_skips_revalidation(self, monkeypatch):
+        """Regression: sliced() used to re-run validate() per slice, an
+        O(n) pass on the sweep-construction path."""
+        trace = Trace(name="t", records=list(RECORDS))
+        calls = []
+        monkeypatch.setattr(
+            Trace, "validate", lambda self: calls.append(1), raising=True
+        )
+        trace.sliced(0, 3)
+        assert calls == []
+
+    def test_construction_still_validates(self):
+        with pytest.raises(TraceError):
+            Trace(name="bad", records=[(10, 0, 0, 0), (5, 0, 0, 0)])
+
+
+class TestPageMath:
+    def test_shift_matches_division_for_power_of_two(self):
+        trace = Trace(name="t", records=list(RECORDS), page_bytes=2048)
+        assert trace.page_sequence() == [r[1] // 2048 for r in RECORDS]
+        assert trace.pages_touched() == {r[1] // 2048 for r in RECORDS}
+
+    def test_non_power_of_two_page_bytes_falls_back(self):
+        trace = Trace(name="t", records=list(RECORDS), page_bytes=3000)
+        assert trace.page_sequence() == [r[1] // 3000 for r in RECORDS]
+        assert trace.pages_touched() == {r[1] // 3000 for r in RECORDS}
