@@ -1,0 +1,39 @@
+"""Static analysis and runtime invariant checking for the reproduction.
+
+Three layers keep the "refactor freely, run fast" loop safe:
+
+* :mod:`repro.analysis.lint` — project-specific AST rules (determinism,
+  wall-clock isolation, mutable defaults, broad excepts, float equality,
+  unused imports), plus the runtime annotation check that used to live
+  only in the test suite.  Run via ``repro lint``.
+* the **kernel-drift detector** (also in :mod:`~repro.analysis.lint`) —
+  a checked-in manifest of normalized-source fingerprints for the
+  reference hot-loop functions that :mod:`repro.kernel.replay`
+  specializes.  Editing one of those functions fails lint until the
+  change is re-proven bit-identical and re-acknowledged with
+  ``repro lint --update-manifest``.
+* :mod:`repro.analysis.sanitize` — a runtime checker layered on the
+  simulator (``simulate(sanitize=True)`` / ``--sanitize`` /
+  ``REPRO_SANITIZE``) validating remap bijectivity, intra-pod closure,
+  MEA counter bounds, timeline monotonicity, and stats conservation.
+"""
+
+from .lint import Finding, lint_tree, run_lint
+from .sanitize import (
+    SANITIZE_ENV_VAR,
+    SanitizerError,
+    SimulationSanitizer,
+    resolve_sanitize,
+    sanitized_simulate,
+)
+
+__all__ = [
+    "Finding",
+    "lint_tree",
+    "run_lint",
+    "SANITIZE_ENV_VAR",
+    "SanitizerError",
+    "SimulationSanitizer",
+    "resolve_sanitize",
+    "sanitized_simulate",
+]

@@ -10,6 +10,8 @@ Exposes the library's main entry points without writing Python:
 * ``repro sweep [ARTEFACT...]``       — regenerate several artefacts
                                         through one runner/cache
 * ``repro energy WORKLOAD``           — the Section 5.3 energy view
+* ``repro lint``                      — project-invariant static
+                                        analysis + kernel-drift check
 
 Sizing flags (``--scale/--length/--seed/--workloads``) mirror the
 ``REPRO_*`` environment variables used by the benchmark harness, and the
@@ -26,6 +28,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from .analysis.sanitize import SANITIZE_ENV_VAR
 from .experiments import (
     ExperimentConfig,
     format_table1,
@@ -97,6 +100,9 @@ def _shared_flags(suppress: bool) -> argparse.ArgumentParser:
     shared.add_argument("--kernel", choices=KERNEL_KINDS, default=default(None),
                         help="replay kernel: fast (default) or reference; "
                              "mirrors REPRO_KERNEL")
+    shared.add_argument("--sanitize", action="store_true", default=default(False),
+                        help="run with the runtime invariant checker "
+                             "(repro.analysis.sanitize); mirrors REPRO_SANITIZE")
     return shared
 
 
@@ -154,6 +160,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "artefacts", nargs="*", metavar="ARTEFACT",
         help=f"artefacts to run (default: all of {', '.join(ARTEFACTS)})",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis, kernel-drift detection, "
+             "and the runtime-annotation check",
+        parents=[shared],
+    )
+    lint.add_argument(
+        "--update-manifest", action="store_true", default=False,
+        help="re-acknowledge the kernel manifest after an intentional "
+             "reference-loop change (run the differential suite first)",
+    )
+    lint.add_argument(
+        "--external", action="store_true", default=False,
+        help="also run ruff and mypy when installed (CI installs both; "
+             "they are skipped with a notice otherwise)",
     )
 
     return parser
@@ -349,12 +372,22 @@ def _cmd_sweep(config: ExperimentConfig, artefacts: Sequence[str]) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        from .analysis.lint import run_lint
+
+        return run_lint(
+            update_manifest=args.update_manifest, external=args.external
+        )
     config = _config(args)
     if args.kernel:
         # Ambient switch: resolve_kernel() consults the environment, so
         # this one assignment covers in-process simulate() calls and the
         # sweep cells (whose kernel is captured at construction).
         os.environ[KERNEL_ENV_VAR] = args.kernel
+    if args.sanitize:
+        # Same ambient pattern as --kernel: resolve_sanitize() consults
+        # the environment, covering simulate() calls and sweep cells.
+        os.environ[SANITIZE_ENV_VAR] = "1"
 
     if args.command == "list":
         print(_cmd_list())

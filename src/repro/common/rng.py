@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import List, Sequence, TypeVar
+from typing import ClassVar, Dict, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -100,7 +100,9 @@ class DeterministicRng:
                 hi = mid
         return lo
 
-    _zipf_cache: dict = {}
+    # Class-level memo shared by every stream: the CDF depends only on
+    # (n, alpha), never on the seed.
+    _zipf_cache: ClassVar[Dict[Tuple[int, float], List[float]]] = {}
 
     @classmethod
     def _zipf_cdf(cls, n: int, alpha: float) -> List[float]:

@@ -30,12 +30,13 @@ real bank and bus slots that demand requests then wait for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from ..dram.request import MIGRATION
 from ..geometry import MemoryGeometry
 
 if TYPE_CHECKING:  # import only for annotations; avoids a package cycle
+    from ..dram.controller import ChannelController
     from ..system.hybrid import HybridMemory
 
 LINE_BYTES = 64
@@ -86,7 +87,7 @@ class MigrationEngine:
         access + ``lines`` serialized bursts."""
         return timing.trcd_ps + timing.tcas_ps + lines * timing.burst_ps(LINE_BYTES)
 
-    def _locate(self, address: int) -> "tuple":
+    def _locate(self, address: int) -> "Tuple[ChannelController, int, int]":
         """Resolve a flat address to ``(controller, bank, row)``.
 
         A migration page is smaller than the row buffer and page-aligned,

@@ -15,7 +15,7 @@ resident page is currently hot, and wrap at most once per search.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..geometry import MemoryGeometry
 from ..tracking.mea import MeaTracker
@@ -91,7 +91,7 @@ class Pod:
         self.mea.reset()
         return plans
 
-    def _find_victim(self, hot_set: set) -> Optional[int]:
+    def _find_victim(self, hot_set: Set[int]) -> Optional[int]:
         """Next fast frame whose resident is not hot (sequential scan)."""
         geometry = self.geometry
         per_pod = geometry.fast_pages_per_pod

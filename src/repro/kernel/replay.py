@@ -614,6 +614,55 @@ def _replay_cameo(trace, packed, manager, throttle_cap_ps):
 
 # -- dispatch --------------------------------------------------------------
 
+#: The most recent :func:`fast_simulate` dispatch decision, as a
+#: ``"specialised:<kind>"`` or ``"fallback:<reason>"`` string.  Dispatch
+#: is *structural* (manager type and configuration), never exception
+#: driven: a specialised kernel that raises mid-replay propagates the
+#: error — it is NEVER caught and silently retried on the reference
+#: loop, because a kernel that can fail where the reference loop would
+#: not is itself a bug the differential suite must see.  This module
+#: global (plus the reason returned by :func:`select_kernel`) exists so
+#: tests and debugging sessions can observe *why* a run took the path
+#: it took.
+last_dispatch = "unused"
+
+
+def select_kernel(manager) -> "tuple":
+    """Pick the specialised kernel for ``manager``: ``(kernel, reason)``.
+
+    ``kernel`` is ``None`` when only the reference loop is exact for
+    this configuration; ``reason`` always explains the decision:
+
+    * ``specialised:<kind>`` — the named fast loop will run;
+    * ``fallback:metadata-cache`` — per-record cache state (MemPod/HMA/
+      THM metadata caches) makes hoisting a wash and is not inlined;
+    * ``fallback:predictor`` — the CAMEO line-location predictor;
+    * ``fallback:subclass:<Name>`` — a manager subclass may override
+      anything, so only the reference loop is trusted.
+    """
+    manager_type = type(manager)
+    if manager_type is NoMigrationManager:
+        return _replay_tlm, "specialised:tlm"
+    if manager_type is MemPodManager:
+        if manager._caches is not None:
+            return None, "fallback:metadata-cache"
+        return _replay_mempod, "specialised:mempod"
+    if manager_type is SingleLevelManager:
+        return _replay_single, "specialised:single-level"
+    if manager_type is HmaManager:
+        if manager._cache is not None:
+            return None, "fallback:metadata-cache"
+        return _replay_hma, "specialised:hma"
+    if manager_type is ThmManager:
+        if manager._cache is not None:
+            return None, "fallback:metadata-cache"
+        return _replay_thm, "specialised:thm"
+    if manager_type is CameoManager:
+        if manager.predictor_entries:
+            return None, "fallback:predictor"
+        return _replay_cameo, "specialised:cameo"
+    return None, f"fallback:subclass:{manager_type.__name__}"
+
 
 def fast_simulate(trace, manager, throttle_cap_ps=DEFAULT_THROTTLE_CAP_PS):
     """Replay ``trace`` through ``manager`` on the fastest exact path.
@@ -622,23 +671,14 @@ def fast_simulate(trace, manager, throttle_cap_ps=DEFAULT_THROTTLE_CAP_PS):
     :func:`repro.system.simulator.reference_simulate`: same arguments,
     same result, same exceptions.  Unsupported configurations (manager
     subclasses, metadata caches, the CAMEO predictor, out-of-range
-    traces) fall back to the reference loop.
+    traces) fall back to the reference loop — the decision is recorded
+    in :data:`last_dispatch`.  Once a specialised kernel starts, any
+    exception it raises propagates to the caller; failures are never
+    swallowed into a silent reference-loop retry.
     """
-    manager_type = type(manager)
-    if manager_type is NoMigrationManager:
-        kernel = _replay_tlm
-    elif manager_type is MemPodManager:
-        kernel = _replay_mempod if manager._caches is None else None
-    elif manager_type is SingleLevelManager:
-        kernel = _replay_single
-    elif manager_type is HmaManager:
-        kernel = _replay_hma if manager._cache is None else None
-    elif manager_type is ThmManager:
-        kernel = _replay_thm if manager._cache is None else None
-    elif manager_type is CameoManager:
-        kernel = _replay_cameo if not manager.predictor_entries else None
-    else:
-        kernel = None
+    global last_dispatch
+    kernel, reason = select_kernel(manager)
+    last_dispatch = reason
     if kernel is None:
         return reference_simulate(trace, manager, throttle_cap_ps)
     packed = trace.packed()
@@ -646,5 +686,6 @@ def fast_simulate(trace, manager, throttle_cap_ps=DEFAULT_THROTTLE_CAP_PS):
         # The direct enqueues bypass memory.access bounds checking; an
         # out-of-range record must raise AddressError at exactly the
         # reference loop's point of failure, so replay it the slow way.
+        last_dispatch = "fallback:out-of-range-address"
         return reference_simulate(trace, manager, throttle_cap_ps)
     return kernel(trace, packed, manager, throttle_cap_ps)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..core.datapath import MigrationEngine, MigrationStats
 from ..geometry import MemoryGeometry
@@ -43,13 +43,13 @@ class MemoryManager(ABC):
         # expired entries for pages never demanded again are still
         # reclaimed (lazy deletion: stale heap entries whose page was
         # re-blocked later no longer match the dict and are skipped).
-        self._blocked_expiry: list = []
+        self._blocked_expiry: List[Tuple[int, int]] = []
         self.blocked_hits = 0
         # Scheduled page copies: a min-heap of (issue_ps, seq, frame_a,
         # frame_b, pod), drained as simulated time passes each issue
         # time.  A heap (not FIFO) because pods schedule their interval
         # plans independently, so issue times interleave across pods.
-        self._swap_queue: list = []
+        self._swap_queue: List[Tuple[int, int, int, int, int]] = []
         self._swap_seq = 0
 
     # -- request path -----------------------------------------------------

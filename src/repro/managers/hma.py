@@ -22,7 +22,7 @@ scaled experiments pass both down proportionally (see DESIGN.md).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import (
     require_in,
@@ -177,7 +177,7 @@ class HmaManager(MemoryManager):
         self._block_page(page_b, completion)
         return completion
 
-    def _victim_heap(self, counts: Dict[int, int]) -> list:
+    def _victim_heap(self, counts: Dict[int, int]) -> List[Tuple[int, int, int]]:
         """Min-heap of (resident count, tiebreak, frame) over fast frames."""
         heap = []
         for frame in range(self.geometry.fast_pages):

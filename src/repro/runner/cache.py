@@ -113,9 +113,10 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, path)
-        except BaseException:
+        finally:
+            # After a successful replace the temp name is gone; on any
+            # failure this reclaims it.  Either way nothing is swallowed.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise

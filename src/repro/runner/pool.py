@@ -23,7 +23,7 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from .cache import ResultCache, code_version_token, fingerprint
 from .progress import ProgressTracker
@@ -35,8 +35,8 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
 
 #: fingerprint schema version — bump when the payload layout changes
-#: (v2: cells carry the replay-kernel choice)
-SCHEMA_VERSION = 2
+#: (v2: cells carry the replay-kernel choice; v3: the sanitize flag)
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,9 @@ class SimCell:
     proven result-identical, but the choice is still fingerprinted: a
     cached cell must record exactly how it was produced, so a kernel
     divergence bug could never be masked by stale cache hits.
+    ``sanitize`` is fingerprinted for the same reason — sanitized runs
+    are proven result-identical, but a sanitizer bug must never hide
+    behind (or poison) cached unsanitized results.
     """
 
     config: "ExperimentConfig"
@@ -58,6 +61,7 @@ class SimCell:
     future_tech: bool = False
     params: Tuple[Tuple[str, Any], ...] = ()
     kernel: str = "fast"
+    sanitize: bool = False
 
     @property
     def label(self) -> str:
@@ -79,6 +83,7 @@ class SimCell:
             "future_tech": self.future_tech,
             "params": dict(self.params),
             "kernel": self.kernel,
+            "sanitize": self.sanitize,
         }
 
     def compute(self):
@@ -93,6 +98,7 @@ class SimCell:
             self.config.geometry,
             future_tech=self.future_tech,
             kernel=self.kernel,
+            sanitize=self.sanitize,
             **dict(self.params),
         )
 
@@ -150,11 +156,12 @@ def sim_cell(
 ) -> SimCell:
     """Build a :class:`SimCell` with canonically ordered parameters.
 
-    The replay kernel is resolved *here* (explicit ``$REPRO_KERNEL`` or
-    the default) rather than in the worker, so every cell of a sweep
-    records the same, deterministic kernel choice regardless of worker
-    environment.
+    The replay kernel and the sanitize flag are resolved *here*
+    (explicit ``$REPRO_KERNEL`` / ``$REPRO_SANITIZE`` or the defaults)
+    rather than in the worker, so every cell of a sweep records the
+    same, deterministic choices regardless of worker environment.
     """
+    from ..analysis.sanitize import resolve_sanitize
     from ..system.simulator import resolve_kernel
 
     return SimCell(
@@ -164,6 +171,7 @@ def sim_cell(
         future_tech,
         tuple(sorted(params.items())),
         kernel=resolve_kernel(),
+        sanitize=resolve_sanitize(),
     )
 
 

@@ -169,13 +169,28 @@ def simulate(
     manager: MemoryManager,
     throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
     kernel: Optional[str] = None,
+    sanitize: Optional[bool] = None,
 ) -> SimulationResult:
     """Replay ``trace`` through ``manager`` and collect the result.
 
     ``kernel`` selects the replay implementation (see
     :func:`resolve_kernel`); both produce identical results, so the
     choice is purely a speed/debuggability trade.
+
+    ``sanitize`` (explicit, or ambient via ``$REPRO_SANITIZE``) layers
+    the runtime invariant checker of :mod:`repro.analysis.sanitize` on
+    the replay.  The sanitized loop is a reference-loop clone with
+    read-only checks, so it overrides the kernel choice but still
+    produces field-for-field identical results — at reference-loop
+    speed, which is why sanitized runs are excluded from benchmark
+    baselines.
     """
+    from ..analysis.sanitize import resolve_sanitize  # lazy: avoids a cycle
+
+    if resolve_sanitize(sanitize):
+        from ..analysis.sanitize import sanitized_simulate
+
+        return sanitized_simulate(trace, manager, throttle_cap_ps)
     if resolve_kernel(kernel) == "fast":
         from ..kernel.replay import fast_simulate  # lazy: avoids an import cycle
 
@@ -191,10 +206,14 @@ def run(
     window: int = 8,
     throttle_cap_ps: int = DEFAULT_THROTTLE_CAP_PS,
     kernel: Optional[str] = None,
+    sanitize: Optional[bool] = None,
     **params,
 ) -> SimulationResult:
     """One-call convenience: build the manager and replay the trace."""
     manager = build_manager(
         kind, geometry, future_tech=future_tech, window=window, **params
     )
-    return simulate(trace, manager, throttle_cap_ps=throttle_cap_ps, kernel=kernel)
+    return simulate(
+        trace, manager, throttle_cap_ps=throttle_cap_ps, kernel=kernel,
+        sanitize=sanitize,
+    )

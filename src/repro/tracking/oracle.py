@@ -59,7 +59,7 @@ class OracleResult:
         """
         fc = self.fc_future_hits[tier]
         mea = self.mea_future_hits[tier]
-        if fc == 0.0:
+        if fc <= 0.0:  # hit counts are non-negative; guards the division
             return float("inf") if mea > 0.0 else 0.0
         return (mea - fc) / fc
 

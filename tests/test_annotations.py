@@ -1,66 +1,22 @@
 """Annotation lint: every public annotation must resolve at runtime.
 
-``from __future__ import annotations`` makes string annotations free to
-write but silently unvalidated — a forgotten import (e.g. ``Optional``)
-becomes a latent ``NameError`` that only fires when an
-annotation-evaluating tool calls :func:`typing.get_type_hints`.  This
-suite performs that evaluation over every module, class, method and
-property in the package, so such defects fail in CI instead of in a
-downstream consumer.
+The actual evaluation lives in :func:`repro.analysis.lint.check_annotations`
+(one authority, shared with the ``repro lint`` CLI entry point); this
+suite asserts the authority reports a clean tree and still actually
+evaluates annotations (the regression guard below).
 """
 
-import importlib
-import inspect
-import pkgutil
 import typing
 
 import pytest
 
-import repro
+from repro.analysis.lint import check_annotations
 
 
-def _modules():
-    yield repro
-    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
-        if info.name.endswith("__main__"):
-            continue  # importing it would run the CLI
-        yield importlib.import_module(info.name)
-
-
-MODULES = list(_modules())
-
-# TYPE_CHECKING-only names (used to break import cycles) still have to
-# resolve; let them fall back to the real classes defined anywhere in
-# the package.  typing/builtin names are deliberately NOT added here:
-# an annotation using them must import them.
-_FALLBACK = {}
-for _module in MODULES:
-    for _name, _obj in vars(_module).items():
-        if inspect.isclass(_obj) and getattr(_obj, "__module__", "").startswith("repro"):
-            _FALLBACK.setdefault(_name, _obj)
-
-
-def _hints(obj):
-    typing.get_type_hints(obj, localns=_FALLBACK)
-
-
-@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
-def test_type_hints_resolve(module):
-    for name, obj in sorted(vars(module).items()):
-        if getattr(obj, "__module__", None) != module.__name__:
-            continue
-        if inspect.isfunction(obj):
-            _hints(obj)
-        elif inspect.isclass(obj):
-            _hints(obj)
-            for _, method in inspect.getmembers(obj, inspect.isfunction):
-                if method.__module__ == module.__name__:
-                    _hints(method)
-            for _, prop in inspect.getmembers(
-                obj, lambda o: isinstance(o, property)
-            ):
-                if prop.fget is not None and prop.fget.__module__ == module.__name__:
-                    _hints(prop.fget)
+def test_annotations_resolve():
+    """The lint authority reports zero unresolvable annotations."""
+    findings = check_annotations()
+    assert findings == [], "\n".join(f.format() for f in findings)
 
 
 def test_lint_actually_evaluates(monkeypatch):
@@ -69,10 +25,14 @@ def test_lint_actually_evaluates(monkeypatch):
     Regression guard for the original defect: ``Pod._find_victim`` was
     annotated ``Optional[int]`` in a module that never imported
     ``Optional``.  Simulate that state by removing the (now-imported)
-    name and check the evaluation raises.
+    name and check both the raw evaluation and the lint authority see it.
     """
     from repro.core import pod as pod_module
 
     monkeypatch.delattr(pod_module, "Optional")
     with pytest.raises(NameError):
         typing.get_type_hints(pod_module.Pod._find_victim)
+    findings = check_annotations()
+    assert any(
+        f.rule == "annotations" and "_find_victim" in f.message for f in findings
+    ), "check_annotations() missed a deliberately broken annotation"

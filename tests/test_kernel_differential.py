@@ -168,3 +168,83 @@ class TestKernelSelection:
         assert cell.payload()["kernel"] == "reference"
         monkeypatch.delenv("REPRO_KERNEL")
         assert sim_cell(config, "xalanc", "tlm").kernel == "fast"
+
+
+class TestDispatchReasons:
+    """Dispatch is structural and observable, never exception-driven."""
+
+    def _reason(self, geometry, kind, **params):
+        from repro.kernel.replay import select_kernel
+
+        return select_kernel(build_manager(kind, geometry, **params))[1]
+
+    def test_specialised_reasons(self, geometry):
+        assert self._reason(geometry, "tlm") == "specialised:tlm"
+        assert self._reason(geometry, "mempod") == "specialised:mempod"
+        assert self._reason(geometry, "hma") == "specialised:hma"
+        assert self._reason(geometry, "thm") == "specialised:thm"
+        assert self._reason(geometry, "cameo") == "specialised:cameo"
+        assert self._reason(geometry, "hbm-only") == "specialised:single-level"
+
+    def test_fallback_reasons(self, geometry):
+        from repro.kernel.replay import select_kernel
+
+        assert (
+            self._reason(geometry, "mempod", cache_bytes=4096)
+            == "fallback:metadata-cache"
+        )
+        assert (
+            self._reason(geometry, "cameo", predictor_entries=64)
+            == "fallback:predictor"
+        )
+        kernel, reason = select_kernel(build_manager("hma", geometry, cache_bytes=4096))
+        assert kernel is None and reason == "fallback:metadata-cache"
+
+    def test_subclass_reason_names_the_type(self, geometry):
+        from repro.kernel.replay import select_kernel
+        from repro.managers.static import NoMigrationManager
+
+        class Audited(NoMigrationManager):
+            pass
+
+        memory = build_manager("tlm", geometry).memory
+        kernel, reason = select_kernel(Audited(memory, geometry))
+        assert kernel is None
+        assert reason == "fallback:subclass:Audited"
+
+    def test_last_dispatch_records_the_run(self, geometry):
+        from repro.kernel import replay
+
+        trace = _trace(geometry, "xalanc", length=300)
+        replay.fast_simulate(trace, build_manager("tlm", geometry))
+        assert replay.last_dispatch == "specialised:tlm"
+        replay.fast_simulate(trace, build_manager("mempod", geometry, cache_bytes=4096))
+        assert replay.last_dispatch == "fallback:metadata-cache"
+
+    def test_last_dispatch_out_of_range(self, geometry):
+        from repro.kernel import replay
+
+        bad = Trace(
+            name="bad", records=[(0, 0, 0, 0), (100, geometry.total_bytes + 64, 0, 0)]
+        )
+        with pytest.raises(AddressError):
+            replay.fast_simulate(bad, build_manager("tlm", geometry))
+        assert replay.last_dispatch == "fallback:out-of-range-address"
+
+    def test_kernel_failure_propagates(self, geometry, monkeypatch):
+        """A raising specialised kernel must NEVER be silently retried on
+        the reference loop — that would hide kernel bugs from the
+        differential suite."""
+        from repro.kernel import replay
+
+        calls = []
+
+        def exploding(trace, packed, manager, throttle_cap_ps):
+            calls.append(True)
+            raise RuntimeError("kernel bug")
+
+        monkeypatch.setattr(replay, "_replay_tlm", exploding)
+        trace = _trace(geometry, "xalanc", length=100)
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            replay.fast_simulate(trace, build_manager("tlm", geometry))
+        assert calls == [True]
