@@ -83,6 +83,14 @@ def test_mempod_replay_throughput(benchmark, geometry, small_trace):
     )
 
 
+def test_single_level_replay_throughput(benchmark, geometry, small_trace):
+    benchmark.pedantic(
+        lambda: simulate(small_trace, build_manager("hbm-only", geometry)),
+        rounds=3,
+        iterations=1,
+    )
+
+
 def test_tlm_replay_reference_throughput(benchmark, geometry, small_trace):
     """The reference loop on the same cell as test_tlm_replay_throughput,
     so the fast kernel's speedup is measurable from one benchmark run."""
@@ -97,6 +105,15 @@ def test_tlm_replay_reference_throughput(benchmark, geometry, small_trace):
 def test_mempod_replay_reference_throughput(benchmark, geometry, small_trace):
     benchmark.pedantic(
         lambda: simulate(small_trace, build_manager("mempod", geometry),
+                         kernel="reference"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_single_level_replay_reference_throughput(benchmark, geometry, small_trace):
+    benchmark.pedantic(
+        lambda: simulate(small_trace, build_manager("hbm-only", geometry),
                          kernel="reference"),
         rounds=3,
         iterations=1,

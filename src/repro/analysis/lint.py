@@ -91,8 +91,12 @@ KERNEL_FINGERPRINT_FUNCTIONS: Tuple[str, ...] = (
     "repro/system/hybrid.py::HybridMemory.peak_bus_free_ps",
     "repro/system/hybrid.py::SingleLevelMemory.access",
     "repro/system/hybrid.py::SingleLevelMemory.peak_bus_free_ps",
-    # controller access accounting the kernels enqueue into directly
+    # controller access accounting the kernels enqueue into directly,
+    # and the scheduling internals enqueue_batch inlines
     "repro/dram/controller.py::ChannelController.enqueue",
+    "repro/dram/controller.py::ChannelController._choose",
+    "repro/dram/controller.py::ChannelController._service_at",
+    "repro/dram/bank.py::Bank.access",
 )
 
 _WALL_CLOCK_ATTRS = frozenset({

@@ -11,6 +11,12 @@ is next free.  The three classic row-buffer outcomes are modelled:
 
 The bank never consults wall-clock state outside what the controller
 passes in, which keeps it unit-testable in isolation.
+
+:meth:`Bank.access` is inlined by the controller's columnar datapath
+(``ChannelController.enqueue_batch``), so it is fingerprinted in the
+kernel manifest: edits here fail ``repro lint`` until the batch path is
+re-proven bit-identical and the change acknowledged with ``repro lint
+--update-manifest``.
 """
 
 from __future__ import annotations

@@ -23,6 +23,27 @@ Every structure here is replayed millions of times per experiment, so
 the pending buffer holds plain tuples
 ``(arrival_ps, account_ps, bank, row, is_write, kind)`` rather than
 objects, and the scheduling loops keep their state in locals.
+
+Two service datapaths share the same semantics:
+
+* :meth:`ChannelController.enqueue` — the reference path, one
+  transaction per call;
+* :meth:`ChannelController.enqueue_batch` — the columnar path the
+  replay kernels use: whole per-controller columns handed down at once,
+  serviced with controller, bank, and stats state hoisted into locals,
+  an idle-channel drain fast path for the uncontended common case, and
+  run-length row-hit streaming.  It must stay bit-for-bit equal to
+  calling ``enqueue`` per element — ``tests/test_dram_controller_batch.py``
+  and the kernel differential suite enforce it, and the scheduling
+  functions it inlines (``enqueue``, ``_choose``, ``_service_at``,
+  ``Bank.access``) are fingerprinted in the kernel manifest so edits
+  there fail ``repro lint`` until re-proven.
+
+Controllers also report *dirty-channel* hints: every entry point that
+may advance the data bus adds the controller's key to a sink set shared
+with the owning memory, so the CPU throttle's peak-bus probe scans only
+channels touched since its last sample (see
+``HybridMemory.peak_bus_free_ps``).
 """
 
 from __future__ import annotations
@@ -133,6 +154,17 @@ class ChannelController:
         self._next_refresh_ps = self._trefi_ps if self._trefi_ps else 0
         self.refreshes = 0
         self.last_completion_ps = 0
+        # Dirty-channel hint for the owning memory's peak-bus cache:
+        # every entry point that may advance the bus adds this
+        # controller's key to the sink.  ``_dirty`` short-circuits the
+        # common already-marked case to one attribute test; the owning
+        # memory rewires the sink to one set shared by all its
+        # controllers and clears the flag when it drains the set.  A
+        # standalone controller keeps a private sink so the hot paths
+        # stay branch-free.
+        self._dirty = False
+        self._dirty_sink: set = set()
+        self._dirty_key = 0
 
     # -- public API -----------------------------------------------------
 
@@ -152,6 +184,9 @@ class ChannelController:
         migrating page accounts from its original arrival so the block
         time shows up as stall time.
         """
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_sink.add(self._dirty_key)
         pending = self._pending
         pending.append((
             arrival_ps,
@@ -195,8 +230,385 @@ class ChannelController:
                 break
             service_at(idx)
 
+    def enqueue_batch(
+        self,
+        banks,
+        rows,
+        is_writes,
+        arrivals,
+        accounts=None,
+        kind: int = DEMAND,
+    ) -> None:
+        """Columnar :meth:`enqueue`: service whole per-controller columns.
+
+        Bit-for-bit equal to calling ``enqueue(banks[i], rows[i],
+        is_writes[i], arrivals[i], kind, accounts[i])`` for each ``i``
+        in order, but with every controller, bank, and stats field
+        hoisted into locals for the whole batch.  ``accounts=None``
+        accounts each element from its own arrival.  Arrivals must be
+        non-decreasing (the same contract ``enqueue`` callers follow).
+
+        Two regimes alternate inside the loop:
+
+        * **idle-channel drain fast path** — with at most one buffered
+          transaction and each arrival past the previous transaction's
+          service start, the scheduler provably services the older
+          transaction immediately (the window never fills), so the loop
+          keeps the single in-flight transaction in locals and never
+          touches the pending buffer; consecutive same-bank same-row
+          transactions stream as a run-length row-hit burst with the
+          bank's fields cached in locals too.
+        * **contended stretches** — an exact inline clone of
+          ``enqueue``'s window-bounded FR-FCFS drain (``_choose`` +
+          ``_service_at`` semantics), entered whenever the fast path's
+          guard fails, left again once the buffer drains back to one.
+
+        The fast path requires ``window >= 2``: with ``window == 1`` an
+        uncontended pair is still forced through ``_choose``, which may
+        reorder it, so FCFS controllers take the general path for every
+        element.
+        """
+        total = len(arrivals)
+        if not total:
+            return
+        if accounts is None:
+            accounts = arrivals
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_sink.add(self._dirty_key)
+        pending = self._pending
+        bank_list = self.banks
+        window = self.window
+        timing = self.timing
+        burst = self._burst_ps
+        turnaround = self._turnaround_ps
+        trefi = self._trefi_ps
+        trfc = self._trfc_ps
+        trcd = timing.trcd_ps
+        tcas = timing.tcas_ps
+        trp = timing.trp_ps
+        tras = timing.tras_ps
+        # State shared with the contended-path closures below (nonlocal
+        # cells); everything else stays a plain local or a closure
+        # default so the fast path pays no indirection for it.
+        bus_free = self.bus_free_ps
+        last_was_write = self._last_was_write
+        next_refresh = self._next_refresh_ps
+        refreshes = self.refreshes
+        last_completion = self.last_completion_ps
+        served = 0
+        n_reads = 0
+        n_writes = 0
+        row_hits = 0
+        total_lat = 0
+        demand_lat = 0
+        migration_lat = 0
+        bookkeeping_lat = 0
+        demand_n = 0
+        migration_n = 0
+        bookkeeping_n = 0
+
+        def _service(
+            entry,
+            bank_list=bank_list,
+            burst=burst,
+            turnaround=turnaround,
+            trefi=trefi,
+            trfc=trfc,
+            trcd=trcd,
+            tcas=tcas,
+            trp=trp,
+            tras=tras,
+            demand_kind=DEMAND,
+            migration_kind=MIGRATION,
+        ):
+            """Inline of ``_service_at`` on an already-popped entry."""
+            nonlocal bus_free, last_was_write, next_refresh, refreshes
+            nonlocal last_completion, served, n_reads, n_writes, row_hits
+            nonlocal total_lat, demand_lat, migration_lat, bookkeeping_lat
+            nonlocal demand_n, migration_n, bookkeeping_n
+            arrival_ps, account_ps, bank_idx, row, is_write, e_kind = entry
+            if trefi and arrival_ps >= next_refresh:
+                elapsed = (arrival_ps - next_refresh) // trefi
+                boundary = next_refresh + elapsed * trefi
+                refreshes += elapsed + 1
+                next_refresh = boundary + trefi
+                stall_end = boundary + trfc
+                if bus_free < stall_end:
+                    bus_free = stall_end
+                for b in bank_list:
+                    if b.busy_until_ps < stall_end:
+                        b.busy_until_ps = stall_end
+            bank = bank_list[bank_idx]
+            busy = bank.busy_until_ps
+            start = arrival_ps if arrival_ps > busy else busy
+            open_row = bank.open_row
+            if open_row == row:
+                bank.hits += 1
+                row_hits += 1
+                cas_issue = start
+            elif open_row == -1:
+                bank.misses += 1
+                bank.activated_ps = start
+                bank.open_row = row
+                cas_issue = start + trcd
+            else:
+                bank.conflicts += 1
+                earliest_pre = bank.activated_ps + tras
+                pre_start = start if start > earliest_pre else earliest_pre
+                act_start = pre_start + trp
+                bank.activated_ps = act_start
+                bank.open_row = row
+                cas_issue = act_start + trcd
+            data_ready = cas_issue + tcas
+            bank.busy_until_ps = cas_issue + burst
+            if is_write != last_was_write:
+                bus_free += turnaround
+                last_was_write = is_write
+            completion = (data_ready if data_ready > bus_free else bus_free) + burst
+            bus_free = completion
+            if completion > last_completion:
+                last_completion = completion
+            served += 1
+            if is_write:
+                n_writes += 1
+            else:
+                n_reads += 1
+            latency = completion - account_ps
+            total_lat += latency
+            if e_kind == demand_kind:
+                demand_lat += latency
+                demand_n += 1
+            elif e_kind == migration_kind:
+                migration_lat += latency
+                migration_n += 1
+            else:
+                bookkeeping_lat += latency
+                bookkeeping_n += 1
+
+        def _choose_idx(
+            pending=pending, bank_list=bank_list, starvation=self.STARVATION_PS
+        ):
+            """Inline of ``_choose`` against the hoisted bus direction."""
+            if len(pending) == 1:
+                return 0
+            promote_past = pending[0][0] + starvation
+            same_direction = -1
+            direction = last_was_write
+            for idx, cand in enumerate(pending):
+                if bank_list[cand[2]].open_row == cand[3]:
+                    if cand[0] > promote_past:
+                        return 0
+                    return idx
+                if same_direction < 0 and cand[4] == direction:
+                    same_direction = idx
+            return same_direction if same_direction >= 0 else 0
+
+        i = 0
+        fast_ok = window > 1
+        while i < total:
+            if fast_ok and len(pending) <= 1:
+                # -- idle-channel drain fast path -----------------------
+                # Holds the one in-flight transaction in locals; the
+                # pending buffer is only touched again on exit.
+                if pending:
+                    p_arr, p_acc, p_bank, p_row, p_w, p_kind = pending.pop()
+                else:
+                    p_arr = arrivals[i]
+                    p_acc = accounts[i]
+                    p_bank = banks[i]
+                    p_row = rows[i]
+                    p_w = is_writes[i]
+                    p_kind = kind
+                    i += 1
+                while i < total:
+                    arrival = arrivals[i]
+                    bank = bank_list[p_bank]
+                    busy = bank.busy_until_ps
+                    start = p_arr if p_arr > busy else busy
+                    if start >= arrival:
+                        break  # contended: buffer it, take the general path
+                    # Service the held transaction (== _service_at on a
+                    # lone pending entry).
+                    if trefi and p_arr >= next_refresh:
+                        elapsed = (p_arr - next_refresh) // trefi
+                        boundary = next_refresh + elapsed * trefi
+                        refreshes += elapsed + 1
+                        next_refresh = boundary + trefi
+                        stall_end = boundary + trfc
+                        if bus_free < stall_end:
+                            bus_free = stall_end
+                        for b in bank_list:
+                            if b.busy_until_ps < stall_end:
+                                b.busy_until_ps = stall_end
+                        busy = bank.busy_until_ps
+                        start = p_arr if p_arr > busy else busy
+                    open_row = bank.open_row
+                    if open_row == p_row:
+                        bank.hits += 1
+                        row_hits += 1
+                        cas_issue = start
+                    elif open_row == -1:
+                        bank.misses += 1
+                        bank.activated_ps = start
+                        bank.open_row = p_row
+                        cas_issue = start + trcd
+                    else:
+                        bank.conflicts += 1
+                        earliest_pre = bank.activated_ps + tras
+                        pre_start = start if start > earliest_pre else earliest_pre
+                        act_start = pre_start + trp
+                        bank.activated_ps = act_start
+                        bank.open_row = p_row
+                        cas_issue = act_start + trcd
+                    data_ready = cas_issue + tcas
+                    bank_busy = cas_issue + burst
+                    bank.busy_until_ps = bank_busy
+                    if p_w != last_was_write:
+                        bus_free += turnaround
+                        last_was_write = p_w
+                    completion = (
+                        data_ready if data_ready > bus_free else bus_free
+                    ) + burst
+                    bus_free = completion
+                    if completion > last_completion:
+                        last_completion = completion
+                    served += 1
+                    if p_w:
+                        n_writes += 1
+                    else:
+                        n_reads += 1
+                    latency = completion - p_acc
+                    total_lat += latency
+                    if p_kind == DEMAND:
+                        demand_lat += latency
+                        demand_n += 1
+                    elif p_kind == MIGRATION:
+                        migration_lat += latency
+                        migration_n += 1
+                    else:
+                        bookkeeping_lat += latency
+                        bookkeeping_n += 1
+                    s_bank = p_bank
+                    s_row = p_row
+                    p_arr = arrival
+                    p_acc = accounts[i]
+                    p_bank = banks[i]
+                    p_row = rows[i]
+                    p_w = is_writes[i]
+                    p_kind = kind
+                    i += 1
+                    if p_bank != s_bank or p_row != s_row:
+                        continue
+                    # Run-length row-hit streak: the serviced row is now
+                    # open, so successive same-bank same-row transactions
+                    # are guaranteed hits — stream them with the bank's
+                    # fields held in locals (refresh or contention breaks
+                    # the streak back to the full path above).
+                    run_hits = 0
+                    while i < total:
+                        arrival = arrivals[i]
+                        start = p_arr if p_arr > bank_busy else bank_busy
+                        if start >= arrival:
+                            break
+                        if trefi and p_arr >= next_refresh:
+                            break
+                        run_hits += 1
+                        bank_busy = start + burst
+                        if p_w != last_was_write:
+                            bus_free += turnaround
+                            last_was_write = p_w
+                        data_ready = start + tcas
+                        completion = (
+                            data_ready if data_ready > bus_free else bus_free
+                        ) + burst
+                        bus_free = completion
+                        served += 1
+                        if p_w:
+                            n_writes += 1
+                        else:
+                            n_reads += 1
+                        latency = completion - p_acc
+                        total_lat += latency
+                        if p_kind == DEMAND:
+                            demand_lat += latency
+                            demand_n += 1
+                        elif p_kind == MIGRATION:
+                            migration_lat += latency
+                            migration_n += 1
+                        else:
+                            bookkeeping_lat += latency
+                            bookkeeping_n += 1
+                        p_arr = arrival
+                        p_acc = accounts[i]
+                        p_bank = banks[i]
+                        p_row = rows[i]
+                        p_w = is_writes[i]
+                        p_kind = kind
+                        i += 1
+                        if p_bank != s_bank or p_row != s_row:
+                            break
+                    if run_hits:
+                        bank.hits += run_hits
+                        row_hits += run_hits
+                        bank.busy_until_ps = bank_busy
+                        if completion > last_completion:
+                            last_completion = completion
+                pending.append((p_arr, p_acc, p_bank, p_row, p_w, p_kind))
+                if i >= total:
+                    break
+                # The next element is contended against the held one:
+                # fall through and run it through the general path.
+            # -- general contended path: exact clone of enqueue() -------
+            arrival = arrivals[i]
+            pending.append(
+                (arrival, accounts[i], banks[i], rows[i], is_writes[i], kind)
+            )
+            i += 1
+            if len(pending) == 1:
+                continue
+            while len(pending) > window:
+                _service(pending.pop(_choose_idx()))
+            while pending:
+                idx = _choose_idx()
+                cand = pending[idx]
+                busy = bank_list[cand[2]].busy_until_ps
+                start = cand[0] if cand[0] > busy else busy
+                if start >= arrival:
+                    if idx != 0:
+                        head = pending[0]
+                        head_start = bank_list[head[2]].busy_until_ps
+                        if head[0] > head_start:
+                            head_start = head[0]
+                        if head_start < arrival:
+                            _service(pending.pop(0))
+                            continue
+                    break
+                _service(pending.pop(idx))
+
+        self.bus_free_ps = bus_free
+        self._last_was_write = last_was_write
+        self._next_refresh_ps = next_refresh
+        self.refreshes = refreshes
+        self.last_completion_ps = last_completion
+        stats = self.stats
+        stats.served += served
+        stats.reads += n_reads
+        stats.writes += n_writes
+        stats.row_hits += row_hits
+        stats.total_latency_ps += total_lat
+        stats.demand_latency_ps += demand_lat
+        stats.migration_latency_ps += migration_lat
+        stats.bookkeeping_latency_ps += bookkeeping_lat
+        stats.demand_count += demand_n
+        stats.migration_count += migration_n
+        stats.bookkeeping_count += bookkeeping_n
+
     def flush(self) -> int:
         """Service every buffered transaction; return last completion time."""
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_sink.add(self._dirty_key)
         while self._pending:
             self._service_one()
         return self.last_completion_ps
@@ -210,6 +622,9 @@ class ChannelController:
         stall applies at a well-defined point in time.
         """
         self.flush()
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_sink.add(self._dirty_key)
         if self.bus_free_ps < ps:
             self.bus_free_ps = ps
         for bank in self.banks:

@@ -18,7 +18,21 @@ mutations with the per-record overhead hoisted out:
 * the CPU throttle samples in chunks of exactly
   ``THROTTLE_SAMPLE_PERIOD`` records, which is equivalent to the
   reference countdown because the offset only ever changes at sample
-  points.
+  points; the peak-bus probe itself goes through the memory's
+  dirty-channel cache instead of scanning every controller per sample;
+* the DRAM datapath is **batched**: instead of one
+  ``ChannelController.enqueue`` call per record, each throttle chunk is
+  regrouped by controller index (``PackedTrace.chunk_groups``, memoised
+  per memory layout, numpy stable-argsort with a pure-Python twin) and
+  whole columns go down one ``enqueue_batch`` call per controller —
+  exact because controllers share no state, intra-controller order is
+  preserved within a chunk, and the offset only changes at chunk
+  boundaries.  Direct kernels (tlm / single-level) batch every chunk
+  this way; the migrating kernels (mempod / hma / thm) accumulate
+  per-controller column buffers record by record and flush them
+  whenever controller-touching work intervenes (an interval boundary, a
+  due swap, an inline THM migration) and at every chunk end, so the
+  per-controller enqueue order is exactly the reference's.
 
 **Equality contract**: for every supported configuration the fast
 kernel produces a ``SimulationResult`` equal field-for-field to the
@@ -82,10 +96,24 @@ def _mapper_key(mapper) -> tuple:
     )
 
 
+def _single_layout_key(device) -> tuple:
+    return ("single", _mapper_key(device.mapper))
+
+
+def _hybrid_layout_key(memory) -> tuple:
+    return (
+        "hybrid",
+        memory.geometry.fast_bytes,
+        memory.fast.channels,
+        _mapper_key(memory.fast.mapper),
+        _mapper_key(memory.slow.mapper),
+    )
+
+
 def _single_plane(packed, device):
     """(controller, bank, row) columns for a single-device memory."""
     mapper = device.mapper
-    key = ("single", _mapper_key(mapper))
+    key = _single_layout_key(device)
     plane = packed.planes.get(key)
     if plane is None:
         addresses = packed.np_addresses()
@@ -116,13 +144,7 @@ def _hybrid_plane(packed, memory):
     slow_mapper = memory.slow.mapper
     fast_bytes = memory.geometry.fast_bytes
     fast_channels = memory.fast.channels
-    key = (
-        "hybrid",
-        fast_bytes,
-        fast_channels,
-        _mapper_key(fast_mapper),
-        _mapper_key(slow_mapper),
-    )
+    key = _hybrid_layout_key(memory)
     plane = packed.planes.get(key)
     if plane is None:
         addresses = packed.np_addresses()
@@ -240,76 +262,89 @@ def _hybrid_controllers(memory):
 
 def _replay_tlm(trace, packed, manager, throttle_cap_ps):
     """TLM baseline: every record is one DEMAND enqueue, no remapping."""
-    ctrls = _hybrid_controllers(manager.memory)
-    enqueues = [ctrl.enqueue for ctrl in ctrls]
-    plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, manager.memory)
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    plane = _hybrid_plane(packed, memory)
     return _replay_direct(
         trace, packed, manager, throttle_cap_ps,
-        ctrls, enqueues, plane_ctrl, plane_bank, plane_row,
+        ctrls, _hybrid_layout_key(memory), plane,
     )
 
 
 def _replay_single(trace, packed, manager, throttle_cap_ps):
     """HBM-only / DDR-only: one device, no remapping."""
     device = manager.memory.device
-    ctrls = device.controllers
-    enqueues = [ctrl.enqueue for ctrl in ctrls]
-    plane_ctrl, plane_bank, plane_row = _single_plane(packed, device)
+    plane = _single_plane(packed, device)
     return _replay_direct(
         trace, packed, manager, throttle_cap_ps,
-        ctrls, enqueues, plane_ctrl, plane_bank, plane_row,
+        device.controllers, _single_layout_key(device), plane,
     )
 
 
 def _replay_direct(
-    trace, packed, manager, throttle_cap_ps,
-    ctrls, enqueues, plane_ctrl, plane_bank, plane_row,
+    trace, packed, manager, throttle_cap_ps, ctrls, layout_key, plane,
 ):
-    """Shared loop for managers whose handle() is a bare memory access."""
+    """Shared loop for managers whose handle() is a bare memory access.
+
+    Fully batched: every throttle chunk is already regrouped by
+    controller index (memoised via ``PackedTrace.chunk_groups``), so the
+    replay is one ``enqueue_batch`` call per (chunk, controller) plus
+    the throttle sample — no per-record Python work at all while the
+    offset is zero.
+    """
+    batch = [ctrl.enqueue_batch for ctrl in ctrls]
+    peak_bus = manager.memory.peak_bus_free_ps
     arrivals = packed.arrivals
-    records = zip(arrivals, packed.is_writes, plane_ctrl, plane_bank, plane_row)
-    total = packed.length
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    chunks = packed.chunk_groups(layout_key, *plane, sample)
+    demand = DEMAND
     last_ps = 0
     offset = 0
     pos = 0
-    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
-    while pos < total:
-        end = pos + sample if sample else total
-        if end > total:
-            end = total
+    for count, groups in chunks:
         if offset:
-            for arrival, is_write, ci, bank, row in islice(records, end - pos):
-                enqueues[ci](bank, row, is_write, arrival + offset)
+            for ci, bank_col, row_col, write_col, arrival_col in groups:
+                batch[ci](
+                    bank_col, row_col, write_col,
+                    [arrival + offset for arrival in arrival_col],
+                    None, demand,
+                )
         else:
-            for arrival, is_write, ci, bank, row in islice(records, end - pos):
-                enqueues[ci](bank, row, is_write, arrival)
-        last_ps = arrivals[end - 1] + offset
-        if end - pos == sample:
-            peak = 0
-            for ctrl in ctrls:
-                bus_free = ctrl.bus_free_ps
-                if bus_free > peak:
-                    peak = bus_free
-            backlog = peak - last_ps
+            for ci, bank_col, row_col, write_col, arrival_col in groups:
+                batch[ci](bank_col, row_col, write_col, arrival_col, None, demand)
+        pos += count
+        last_ps = arrivals[pos - 1] + offset
+        if count == sample:
+            backlog = peak_bus() - last_ps
             if backlog > throttle_cap_ps:
                 offset += backlog - throttle_cap_ps
-        pos = end
     end_ps = manager.finish(last_ps)
     return collect_result(manager, trace, end_ps)
 
 
 def _replay_mempod(trace, packed, manager, throttle_cap_ps):
     """MemPod without a metadata cache: boundary ticks, paced swaps,
-    per-pod MEA recording and remap lookup, block penalties."""
+    per-pod MEA recording and remap lookup, block penalties.
+
+    The manager-side work stays per record (MEA state is order
+    dependent), but the DRAM side batches: each record's decoded
+    transaction is appended to a per-controller column buffer, flushed
+    through ``enqueue_batch`` at every chunk end and — to preserve the
+    reference's per-controller enqueue order — right before any
+    controller-touching event (interval boundary, due swap).  Remapped
+    frames decode inline through the mappers instead of
+    ``memory.access``: remap tables only ever hold in-range frames, so
+    the routing is identical and the bounds check is vacuous.
+    """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
-    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    batch = [ctrl.enqueue_batch for ctrl in ctrls]
+    peak_bus = memory.peak_bus_free_ps
     plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
     pages = packed.pages(manager._page_shift)
     pod_ids = _mempod_pod_plane(packed, manager)
     observe = [pod.mea.record for pod in manager.pods]
     forward_get = [pod.remap._forward.get for pod in manager.pods]
-    access = memory.access
     block_penalty = manager._block_penalty_ps
     blocked = manager._blocked
     expiry = manager._blocked_expiry
@@ -320,7 +355,19 @@ def _replay_mempod(trace, packed, manager, throttle_cap_ps):
     next_boundary = manager._next_boundary_ps
     page_shift = manager._page_shift
     page_mask = manager._page_mask
+    fast_bytes = memory.geometry.fast_bytes
+    fast_decode = memory.fast.mapper.fast_decode
+    slow_decode = memory.slow.mapper.fast_decode
+    fast_channels = memory.fast.channels
     demand = DEMAND
+    buffers: dict = {}
+    buffer_get = buffers.get
+
+    def flush_buffers():
+        for bi, buffered in buffers.items():
+            bank_col, row_col, write_col, arrival_col, account_col = zip(*buffered)
+            batch[bi](bank_col, row_col, write_col, arrival_col, account_col, demand)
+        buffers.clear()
 
     arrivals = packed.arrivals
     records = zip(
@@ -340,32 +387,39 @@ def _replay_mempod(trace, packed, manager, throttle_cap_ps):
             records, end - pos
         ):
             arrival += offset
-            while arrival >= next_boundary:
-                run_boundary(next_boundary)
-                next_boundary += interval
-            if queue and queue[0][0] <= arrival:
-                issue_swaps(arrival)
+            if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
+                # Deferred demand must reach the controllers before the
+                # boundary's or swap's migration traffic does.
+                if buffers:
+                    flush_buffers()
+                while arrival >= next_boundary:
+                    run_boundary(next_boundary)
+                    next_boundary += interval
+                if queue and queue[0][0] <= arrival:
+                    issue_swaps(arrival)
             observe[pod_id](page)
             if blocked or expiry:
                 penalty = block_penalty(page, arrival)
             else:
                 penalty = 0
             frame = forward_get[pod_id](page)
-            if frame is None:
-                enqueues[ci](bank, row, is_write, arrival, demand, arrival - penalty)
+            if frame is not None:
+                translated = (frame << page_shift) | (address & page_mask)
+                if translated < fast_bytes:
+                    ci, bank, row = fast_decode(translated)
+                else:
+                    ci, bank, row = slow_decode(translated - fast_bytes)
+                    ci += fast_channels
+            buffered = buffer_get(ci)
+            if buffered is None:
+                buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
             else:
-                access(
-                    (frame << page_shift) | (address & page_mask),
-                    is_write, arrival, demand, arrival - penalty,
-                )
+                buffered.append((bank, row, is_write, arrival, arrival - penalty))
+        if buffers:
+            flush_buffers()
         last_ps = arrivals[end - 1] + offset
         if end - pos == sample:
-            peak = 0
-            for ctrl in ctrls:
-                bus_free = ctrl.bus_free_ps
-                if bus_free > peak:
-                    peak = bus_free
-            backlog = peak - last_ps
+            backlog = peak_bus() - last_ps
             if backlog > throttle_cap_ps:
                 offset += backlog - throttle_cap_ps
         pos = end
@@ -376,15 +430,21 @@ def _replay_mempod(trace, packed, manager, throttle_cap_ps):
 
 def _replay_hma(trace, packed, manager, throttle_cap_ps):
     """HMA without a counter cache: epoch ticks, paced swaps, full-counter
-    recording, page-table lookup, block penalties."""
+    recording, page-table lookup, block penalties.
+
+    Batches the DRAM side exactly like :func:`_replay_mempod`:
+    per-controller column buffers flushed at chunk ends and before any
+    epoch or due-swap work (``_run_epoch`` may ``block_until`` the whole
+    machine in stall mode, so deferred demand must land first).
+    """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
-    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    batch = [ctrl.enqueue_batch for ctrl in ctrls]
+    peak_bus = memory.peak_bus_free_ps
     plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
     pages = packed.pages(manager._page_shift)
     record = manager.tracker.record
     location_get = manager._location.get
-    access = memory.access
     block_penalty = manager._block_penalty_ps
     blocked = manager._blocked
     expiry = manager._blocked_expiry
@@ -395,7 +455,19 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
     next_boundary = manager._next_boundary_ps
     page_shift = manager._page_shift
     page_mask = manager._page_mask
+    fast_bytes = memory.geometry.fast_bytes
+    fast_decode = memory.fast.mapper.fast_decode
+    slow_decode = memory.slow.mapper.fast_decode
+    fast_channels = memory.fast.channels
     demand = DEMAND
+    buffers: dict = {}
+    buffer_get = buffers.get
+
+    def flush_buffers():
+        for bi, buffered in buffers.items():
+            bank_col, row_col, write_col, arrival_col, account_col = zip(*buffered)
+            batch[bi](bank_col, row_col, write_col, arrival_col, account_col, demand)
+        buffers.clear()
 
     arrivals = packed.arrivals
     records = zip(
@@ -415,32 +487,37 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
             records, end - pos
         ):
             arrival += offset
-            while arrival >= next_boundary:
-                run_epoch(next_boundary)
-                next_boundary += interval
-            if queue and queue[0][0] <= arrival:
-                issue_swaps(arrival)
+            if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
+                if buffers:
+                    flush_buffers()
+                while arrival >= next_boundary:
+                    run_epoch(next_boundary)
+                    next_boundary += interval
+                if queue and queue[0][0] <= arrival:
+                    issue_swaps(arrival)
             record(page)
             if blocked or expiry:
                 penalty = block_penalty(page, arrival)
             else:
                 penalty = 0
             frame = location_get(page)
-            if frame is None:
-                enqueues[ci](bank, row, is_write, arrival, demand, arrival - penalty)
+            if frame is not None:
+                translated = (frame << page_shift) | (address & page_mask)
+                if translated < fast_bytes:
+                    ci, bank, row = fast_decode(translated)
+                else:
+                    ci, bank, row = slow_decode(translated - fast_bytes)
+                    ci += fast_channels
+            buffered = buffer_get(ci)
+            if buffered is None:
+                buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
             else:
-                access(
-                    (frame << page_shift) | (address & page_mask),
-                    is_write, arrival, demand, arrival - penalty,
-                )
+                buffered.append((bank, row, is_write, arrival, arrival - penalty))
+        if buffers:
+            flush_buffers()
         last_ps = arrivals[end - 1] + offset
         if end - pos == sample:
-            peak = 0
-            for ctrl in ctrls:
-                bus_free = ctrl.bus_free_ps
-                if bus_free > peak:
-                    peak = bus_free
-            backlog = peak - last_ps
+            backlog = peak_bus() - last_ps
             if backlog > throttle_cap_ps:
                 offset += backlog - throttle_cap_ps
         pos = end
@@ -451,10 +528,17 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
 
 def _replay_thm(trace, packed, manager, throttle_cap_ps):
     """THM without an SRT cache: competing counters, inline migration,
-    segment-local remap, block penalties."""
+    segment-local remap, block penalties.
+
+    Batches the DRAM side with per-controller column buffers flushed at
+    chunk ends and before every inline migration (``_migrate`` issues
+    swap traffic and drains the victim's channel, so deferred demand
+    must already be enqueued).
+    """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
-    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    batch = [ctrl.enqueue_batch for ctrl in ctrls]
+    peak_bus = memory.peak_bus_free_ps
     plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
     pages = packed.pages(manager._page_shift)
     segments = _thm_segment_plane(packed, manager)
@@ -462,14 +546,25 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
     access_challenger = manager.counters.access_challenger
     migrate = manager._migrate
     location_get = manager._location.get
-    access = memory.access
     block_penalty = manager._block_penalty_ps
     blocked = manager._blocked
     expiry = manager._blocked_expiry
     fast_pages = manager.geometry.fast_pages
     page_shift = manager._page_shift
     page_mask = manager._page_mask
+    fast_bytes = memory.geometry.fast_bytes
+    fast_decode = memory.fast.mapper.fast_decode
+    slow_decode = memory.slow.mapper.fast_decode
+    fast_channels = memory.fast.channels
     demand = DEMAND
+    buffers: dict = {}
+    buffer_get = buffers.get
+
+    def flush_buffers():
+        for bi, buffered in buffers.items():
+            bank_col, row_col, write_col, arrival_col, account_col = zip(*buffered)
+            batch[bi](bank_col, row_col, write_col, arrival_col, account_col, demand)
+        buffers.clear()
 
     arrivals = packed.arrivals
     records = zip(
@@ -499,42 +594,40 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                 # fast-resident page only defends its counter.
                 if page < fast_pages:
                     access_resident(segment)
-                    enqueues[ci](
-                        bank, row, is_write, arrival, demand, arrival - penalty
-                    )
                 else:
                     challenger = access_challenger(segment, page)
-                    if challenger is None:
-                        enqueues[ci](
-                            bank, row, is_write, arrival, demand, arrival - penalty
-                        )
-                    else:
+                    if challenger is not None:
+                        if buffers:
+                            flush_buffers()
                         penalty += migrate(segment, challenger, arrival)
                         frame = location_get(page, page)
-                        access(
-                            (frame << page_shift) | (address & page_mask),
-                            is_write, arrival, demand, arrival - penalty,
-                        )
             else:
                 if frame < fast_pages:
                     access_resident(segment)
                 else:
                     challenger = access_challenger(segment, page)
                     if challenger is not None:
+                        if buffers:
+                            flush_buffers()
                         penalty += migrate(segment, challenger, arrival)
                         frame = location_get(page, page)
-                access(
-                    (frame << page_shift) | (address & page_mask),
-                    is_write, arrival, demand, arrival - penalty,
-                )
+            if frame is not None:
+                translated = (frame << page_shift) | (address & page_mask)
+                if translated < fast_bytes:
+                    ci, bank, row = fast_decode(translated)
+                else:
+                    ci, bank, row = slow_decode(translated - fast_bytes)
+                    ci += fast_channels
+            buffered = buffer_get(ci)
+            if buffered is None:
+                buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
+            else:
+                buffered.append((bank, row, is_write, arrival, arrival - penalty))
+        if buffers:
+            flush_buffers()
         last_ps = arrivals[end - 1] + offset
         if end - pos == sample:
-            peak = 0
-            for ctrl in ctrls:
-                bus_free = ctrl.bus_free_ps
-                if bus_free > peak:
-                    peak = bus_free
-            backlog = peak - last_ps
+            backlog = peak_bus() - last_ps
             if backlog > throttle_cap_ps:
                 offset += backlog - throttle_cap_ps
         pos = end
@@ -556,6 +649,7 @@ def _replay_cameo(trace, packed, manager, throttle_cap_ps):
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
     enqueues = [ctrl.enqueue for ctrl in ctrls]
+    peak_bus = memory.peak_bus_free_ps
     plane_ctrl, plane_bank, plane_row = _hybrid_plane(packed, memory)
     lines = packed.pages(LINE_SHIFT)
     location_get = manager._location.get
@@ -599,12 +693,7 @@ def _replay_cameo(trace, packed, manager, throttle_cap_ps):
                 handle(address, is_write, arrival, core)
         last_ps = arrivals[end - 1] + offset
         if end - pos == sample:
-            peak = 0
-            for ctrl in ctrls:
-                bus_free = ctrl.bus_free_ps
-                if bus_free > peak:
-                    peak = bus_free
-            backlog = peak - last_ps
+            backlog = peak_bus() - last_ps
             if backlog > throttle_cap_ps:
                 offset += backlog - throttle_cap_ps
         pos = end

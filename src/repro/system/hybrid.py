@@ -63,6 +63,16 @@ class HybridMemory:
             slow_timing.name, slow_timing, geometry.slow_bytes, geometry.slow_channels,
             geometry, window,
         )
+        # Dirty-channel tracking for peak_bus_free_ps: every controller
+        # (fast channels first, matching the kernels' flat indices)
+        # reports into one shared set whenever it may advance its bus,
+        # so the throttle probe scans only touched channels.
+        self._controllers = list(self.fast.controllers) + list(self.slow.controllers)
+        self._dirty_channels: set = set()
+        self._peak_bus_ps = 0
+        for key, ctrl in enumerate(self._controllers):
+            ctrl._dirty_sink = self._dirty_channels
+            ctrl._dirty_key = key
 
     def access(
         self,
@@ -115,12 +125,23 @@ class HybridMemory:
 
         The simulator's CPU throttle compares this to the current trace
         time to detect saturation (see ``repro.system.simulator``).
+        Incremental: bus timestamps never move backwards and every
+        controller marks itself dirty when it may advance one, so each
+        call folds only the channels touched since the last call into
+        the cached peak — identical to a full scan, without one.
         """
-        peak = 0
-        for device in (self.fast, self.slow):
-            for ctrl in device.controllers:
-                if ctrl.bus_free_ps > peak:
-                    peak = ctrl.bus_free_ps
+        peak = self._peak_bus_ps
+        dirty = self._dirty_channels
+        if dirty:
+            controllers = self._controllers
+            for key in dirty:
+                ctrl = controllers[key]
+                ctrl._dirty = False
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            dirty.clear()
+            self._peak_bus_ps = peak
         return peak
 
     def merged_stats(self) -> ControllerStats:
@@ -159,6 +180,12 @@ class SingleLevelMemory:
             geometry,
             window,
         )
+        # Same dirty-channel peak tracking as HybridMemory.
+        self._dirty_channels: set = set()
+        self._peak_bus_ps = 0
+        for key, ctrl in enumerate(self.device.controllers):
+            ctrl._dirty_sink = self._dirty_channels
+            ctrl._dirty_key = key
 
     def access(
         self,
@@ -180,8 +207,24 @@ class SingleLevelMemory:
         return self.device.flush()
 
     def peak_bus_free_ps(self) -> int:
-        """Furthest-ahead bus timestamp (CPU-throttle input)."""
-        return max(ctrl.bus_free_ps for ctrl in self.device.controllers)
+        """Furthest-ahead bus timestamp (CPU-throttle input).
+
+        Incremental over the shared dirty-channel set, exactly as
+        :meth:`HybridMemory.peak_bus_free_ps`.
+        """
+        peak = self._peak_bus_ps
+        dirty = self._dirty_channels
+        if dirty:
+            controllers = self.device.controllers
+            for key in dirty:
+                ctrl = controllers[key]
+                ctrl._dirty = False
+                bus_free = ctrl.bus_free_ps
+                if bus_free > peak:
+                    peak = bus_free
+            dirty.clear()
+            self._peak_bus_ps = peak
+        return peak
 
     def merged_stats(self) -> ControllerStats:
         """Controller statistics over the single device."""

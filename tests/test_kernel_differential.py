@@ -115,6 +115,26 @@ class TestFallbackConfigurations:
         assert asdict(result) == asdict(reference)
 
 
+class TestPurePythonTwins:
+    """numpy is an accelerator, never a dependency: with it patched out,
+    the comprehension-based plane/grouping twins must drive the batched
+    datapath to the same bit-identical results.  (CI also runs this
+    whole file on a numpy-free interpreter; these tests keep the twins
+    covered on developer machines that do have numpy.)"""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        import repro.kernel.replay
+        import repro.trace.packed
+
+        monkeypatch.setattr(repro.trace.packed, "_np", None)
+        monkeypatch.setattr(repro.kernel.replay, "_np", None)
+
+    @pytest.mark.parametrize("kind", ["tlm", "mempod", "thm", "hbm-only"])
+    def test_without_numpy(self, geometry, kind, no_numpy):
+        assert_kernels_agree(_trace(geometry, "mix8", length=3_000), geometry, kind)
+
+
 class TestEdgeTraces:
     def test_empty_trace(self, geometry):
         trace = Trace(name="empty", records=[])

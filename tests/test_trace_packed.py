@@ -2,7 +2,9 @@
 
 import pytest
 
+import repro.trace.packed
 from repro.common.errors import TraceError
+from repro.common.rng import DeterministicRng
 from repro.trace.packed import PackedTrace
 from repro.trace.record import Trace
 
@@ -47,6 +49,83 @@ class TestPackedTrace:
         packed = PackedTrace(RECORDS)
         packed.planes[("k",)] = ([1], [2], [3])
         assert packed.planes[("k",)] == ([1], [2], [3])
+
+
+def _grouping_fixture(seed=4, count=1_000):
+    """Records plus a synthetic decode plane spread over 6 controllers."""
+    rng = DeterministicRng(seed)
+    records = []
+    at = 0
+    for _ in range(count):
+        at += rng.randrange(5_000)
+        records.append((at, rng.randrange(1 << 22) & ~63, int(rng.random() < 0.3), 0))
+    packed = PackedTrace(records)
+    ctrls = [rng.randrange(6) for _ in range(count)]
+    banks = [rng.randrange(16) for _ in range(count)]
+    rows = [rng.randrange(64) for _ in range(count)]
+    return packed, ctrls, banks, rows
+
+
+class TestChunkGroups:
+    def _reference_groups(self, packed, ctrls, banks, rows, sample):
+        """Obviously-correct regrouping: per chunk, stable-partition the
+        record indices by controller."""
+        total = packed.length
+        step = sample if sample else (total or 1)
+        chunks = []
+        for begin in range(0, total, step):
+            end = min(begin + step, total)
+            by_ctrl = {}
+            for i in range(begin, end):
+                by_ctrl.setdefault(ctrls[i], []).append(i)
+            groups = tuple(
+                (
+                    ci,
+                    [banks[i] for i in members],
+                    [rows[i] for i in members],
+                    [packed.is_writes[i] for i in members],
+                    [packed.arrivals[i] for i in members],
+                )
+                for ci, members in sorted(by_ctrl.items())
+            )
+            chunks.append((end - begin, groups))
+        return chunks
+
+    @pytest.mark.parametrize("sample", [0, 128, 100, 1_000, 5_000])
+    def test_matches_reference_partition(self, sample):
+        packed, ctrls, banks, rows = _grouping_fixture()
+        chunks = packed.chunk_groups(("k",), ctrls, banks, rows, sample)
+        assert chunks == self._reference_groups(packed, ctrls, banks, rows, sample)
+
+    @pytest.mark.parametrize("sample", [0, 128])
+    def test_pure_python_twin_is_identical(self, sample, monkeypatch):
+        packed, ctrls, banks, rows = _grouping_fixture()
+        with_numpy = packed.chunk_groups(("k",), ctrls, banks, rows, sample)
+        monkeypatch.setattr(repro.trace.packed, "_np", None)
+        twin = PackedTrace(
+            list(zip(packed.arrivals, packed.addresses, packed.is_writes, packed.cores))
+        )
+        assert twin.chunk_groups(("k",), ctrls, banks, rows, sample) == with_numpy
+
+    def test_memoised_per_sample_and_layout(self):
+        packed, ctrls, banks, rows = _grouping_fixture(count=300)
+        first = packed.chunk_groups(("a",), ctrls, banks, rows, 128)
+        assert packed.chunk_groups(("a",), ctrls, banks, rows, 128) is first
+        assert packed.chunk_groups(("b",), ctrls, banks, rows, 128) is not first
+        assert packed.chunk_groups(("a",), ctrls, banks, rows, 0) is not first
+
+    def test_empty_trace(self):
+        packed = PackedTrace([])
+        assert packed.chunk_groups(("k",), [], [], [], 128) == []
+
+    def test_preserves_intra_controller_order(self):
+        packed, ctrls, banks, rows = _grouping_fixture(seed=6, count=700)
+        for count, groups in packed.chunk_groups(("k",), ctrls, banks, rows, 128):
+            assert count == sum(len(g[4]) for g in groups)
+            group_ids = [g[0] for g in groups]
+            assert group_ids == sorted(group_ids)
+            for _, _, _, _, arrival_col in groups:
+                assert arrival_col == sorted(arrival_col)
 
 
 class TestTracePackedAccessor:
