@@ -8,6 +8,8 @@ hardware page migration:
 * :mod:`repro.tracking` — MEA / Full Counters / competing counters,
 * :mod:`repro.core` — the MemPod clustered migration manager,
 * :mod:`repro.managers` — HMA, THM, CAMEO, and non-migrating baselines,
+* :mod:`repro.mechanisms` — the declarative mechanism-spec registry
+  every mechanism (canonical or novel) is built from,
 * :mod:`repro.system` — the hybrid memory, simulator, and statistics,
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
@@ -39,6 +41,12 @@ from .system import (
     SimulationResult,
     SingleLevelMemory,
 )
+from .mechanisms import (
+    MechanismSpec,
+    get_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
 from .system.simulator import MANAGER_KINDS, build_manager, run, simulate
 from .tracking import (
     FullCountersTracker,
@@ -67,6 +75,7 @@ __all__ = [
     "HybridMemory",
     "MANAGER_KINDS",
     "MeaTracker",
+    "MechanismSpec",
     "MemPodManager",
     "MemoryGeometry",
     "MemoryManager",
@@ -84,10 +93,13 @@ __all__ = [
     "all_workloads",
     "build_manager",
     "build_trace",
+    "get_mechanism",
     "get_workload",
     "homogeneous_spec",
+    "mechanism_names",
     "mixed_spec",
     "paper_geometry",
+    "register_mechanism",
     "run",
     "run_oracle_study",
     "scaled_geometry",

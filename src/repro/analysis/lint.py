@@ -25,6 +25,10 @@ encodes them as small AST rules over every module under ``src/``:
   re-acknowledged with ``repro lint --update-manifest``.
 * ``annotations`` — every public annotation must resolve at runtime
   (the authority behind ``tests/test_annotations.py``).
+* ``mechanism-registry`` — every spec registered in
+  :mod:`repro.mechanisms.registry` still validates: legal
+  trigger/flexibility, factory shape agreement, importable tracker
+  path, unique and consistent names, canonical kinds present.
 
 File-level exemptions live in ``allowlist.json`` next to this module;
 ``# noqa`` on a line suppresses findings on that line.
@@ -56,6 +60,7 @@ RULES: Dict[str, str] = {
     "unused-import": "no imports that are never used",
     "kernel-drift": "reference hot-loop functions match the kernel manifest",
     "annotations": "every annotation resolves at runtime",
+    "mechanism-registry": "every registered mechanism spec resolves",
 }
 
 _ALLOWLIST_FILE = Path(__file__).resolve().parent / "allowlist.json"
@@ -75,12 +80,18 @@ KERNEL_FINGERPRINT_FUNCTIONS: Tuple[str, ...] = (
     "repro/managers/base.py::MemoryManager._prune_blocked",
     "repro/managers/base.py::MemoryManager._block_penalty_ps",
     "repro/managers/base.py::MemoryManager.finish",
+    # the composed execution skeleton every mechanism now runs on
+    "repro/managers/base.py::ComposedManager._tick",
+    "repro/managers/base.py::ComposedManager._swap_remap",
+    "repro/managers/base.py::ComposedManager._apply_swap",
+    "repro/core/remap.py::RemapTable.swap_frames",
+    "repro/core/remap.py::RemapTable._set",
     # per-mechanism handle paths the kernels inline
     "repro/core/mempod.py::MemPodManager.handle",
     "repro/core/mempod.py::MemPodManager._run_boundary",
-    "repro/core/mempod.py::MemPodManager._apply_swap",
+    "repro/core/mempod.py::MemPodManager._swap_remap",
     "repro/managers/hma.py::HmaManager.handle",
-    "repro/managers/hma.py::HmaManager._run_epoch",
+    "repro/managers/hma.py::HmaManager._run_boundary",
     "repro/managers/thm.py::ThmManager.handle",
     "repro/managers/thm.py::ThmManager._migrate",
     "repro/managers/cameo.py::CameoManager.handle",
@@ -527,6 +538,53 @@ def check_kernel_manifest(
     return findings
 
 
+# -- mechanism registry check ------------------------------------------------
+
+
+def check_mechanism_registry() -> List[Finding]:
+    """Validate every registered :class:`~repro.mechanisms.spec.MechanismSpec`.
+
+    Registration already validates, but specs can rot after the fact
+    (a tracker module renamed, a factory's declared shape edited), and
+    a sweep is a bad place to discover that.  Re-runs ``validate()`` on
+    the live registry — trigger/flexibility legality, factory shape
+    agreement, tracker importability — and checks the canonical kinds
+    and name bindings are intact.
+    """
+    from ..common.errors import ConfigError
+    from ..mechanisms.registry import MANAGER_KINDS, _REGISTRY
+
+    display = "repro/mechanisms/registry.py"
+    findings: List[Finding] = []
+    for kind in MANAGER_KINDS:
+        if kind not in _REGISTRY:
+            findings.append(
+                Finding(
+                    "mechanism-registry", display, 0,
+                    f"canonical mechanism {kind!r} is not registered",
+                )
+            )
+    for name, spec in _REGISTRY.items():
+        if name != spec.name:
+            findings.append(
+                Finding(
+                    "mechanism-registry", display, 0,
+                    f"registry name {name!r} is bound to spec named "
+                    f"{spec.name!r}: names must be unique and consistent",
+                )
+            )
+        try:
+            spec.validate()
+        except ConfigError as error:
+            findings.append(
+                Finding(
+                    "mechanism-registry", display, 0,
+                    f"registered spec {name!r} does not validate: {error}",
+                )
+            )
+    return findings
+
+
 # -- runtime annotation check ----------------------------------------------
 
 
@@ -665,6 +723,7 @@ def run_lint(
 
     findings = lint_tree(root)
     findings.extend(check_kernel_manifest(manifest_path, root))
+    findings.extend(check_mechanism_registry())
     if not skip_annotations:
         findings.extend(check_annotations())
 

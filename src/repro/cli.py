@@ -7,6 +7,8 @@ Exposes the library's main entry points without writing Python:
 * ``repro run WORKLOAD``              — one comparison on one workload
 * ``repro fig1|fig2|fig3|fig6|fig7|fig8|fig9|fig10|table1|table2|table3``
                                       — regenerate a paper artefact
+* ``repro design``                    — registered-mechanism design-space
+                                        comparison (paper + hybrids)
 * ``repro sweep [ARTEFACT...]``       — regenerate several artefacts
                                         through one runner/cache
 * ``repro energy WORKLOAD``           — the Section 5.3 energy view
@@ -35,6 +37,7 @@ from .experiments import (
     format_table2,
     format_table3,
     run_comparison,
+    run_design_space,
     run_fig10,
     run_fig6,
     run_fig7,
@@ -42,6 +45,7 @@ from .experiments import (
     run_oracle_figures,
     trace_for,
 )
+from .mechanisms import get_mechanism, mechanism_names
 from .runner import (
     NO_CACHE_ENV_VAR,
     ProgressTracker,
@@ -64,6 +68,8 @@ from .trace.workloads import workload_names
 ARTEFACTS = (
     "fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
     "table1", "table2", "table3",
+    # beyond the paper: registered-mechanism design-space comparison
+    "design",
 )
 
 
@@ -202,7 +208,14 @@ def _cmd_list() -> str:
     names = workload_names()
     lines.append("  homogeneous: " + ", ".join(names[:15]))
     lines.append("  mixed:       " + ", ".join(names[15:]))
-    lines.append("mechanisms:   " + ", ".join(MANAGER_KINDS))
+    lines.append("mechanisms (canonical):")
+    for kind in MANAGER_KINDS:
+        lines.append(f"  {kind:<10} {get_mechanism(kind).summary}")
+    extras = [n for n in mechanism_names() if n not in MANAGER_KINDS]
+    if extras:
+        lines.append("mechanisms (registered hybrids):")
+        for kind in extras:
+            lines.append(f"  {kind:<10} {get_mechanism(kind).summary}")
     lines.append("artefacts:    " + ", ".join(ARTEFACTS))
     return "\n".join(lines)
 
@@ -347,6 +360,9 @@ def _cmd_artefact(config: ExperimentConfig, artefact: str) -> str:
         return run_fig9(config).format_table()
     if artefact == "fig10":
         return run_fig10(config).format_table()
+    if artefact == "design":
+        result = run_design_space(config)
+        return result.format_table() + "\n\n" + result.format_specs()
     if artefact == "table1":
         return format_table1()
     if artefact == "table2":

@@ -24,7 +24,7 @@ from ..common.config import require_positive_int
 from ..dram.request import BOOKKEEPING
 from ..common.units import us
 from ..geometry import MemoryGeometry
-from ..managers.base import MemoryManager
+from ..managers.base import ComposedManager
 from ..system.cache import MetadataCache
 from ..system.hybrid import HybridMemory
 from .pod import Pod
@@ -35,10 +35,12 @@ DEFAULT_COUNTER_BITS = 2
 REMAP_ENTRY_BYTES = 4
 
 
-class MemPodManager(MemoryManager):
+class MemPodManager(ComposedManager):
     """Clustered migration manager (the paper's contribution)."""
 
     name = "MemPod"
+    trigger = "interval"
+    flexibility = "pod"
 
     def __init__(
         self,
@@ -50,9 +52,8 @@ class MemPodManager(MemoryManager):
         mea_min_count: int = 2,
         cache_bytes: int = 0,
     ) -> None:
-        super().__init__(memory, geometry)
         require_positive_int("interval_ps", interval_ps)
-        self.interval_ps = interval_ps
+        super().__init__(memory, geometry, interval_ps=interval_ps)
         self.pods: List[Pod] = [
             Pod(
                 pod_id,
@@ -64,7 +65,6 @@ class MemPodManager(MemoryManager):
             )
             for pod_id in range(geometry.pods)
         ]
-        self._next_boundary_ps = interval_ps
         # Per-pod remap caches; the paper splits the budget evenly.
         self._caches: Optional[List[MetadataCache]] = None
         if cache_bytes:
@@ -76,8 +76,6 @@ class MemPodManager(MemoryManager):
         # Hot-path constants: the pod-of-page computation is inlined in
         # handle() (geometry.page_pod validates bounds per call, which
         # is wasted work for trace-validated addresses).
-        self._page_shift = (geometry.page_bytes - 1).bit_length()
-        self._page_mask = geometry.page_bytes - 1
         self._fast_pages = geometry.fast_pages
         self._ppr = geometry.pages_per_row
         self._fast_chan = geometry.fast_channels
@@ -88,10 +86,7 @@ class MemPodManager(MemoryManager):
     # -- request path -------------------------------------------------------
 
     def handle(self, address: int, is_write: bool, arrival_ps: int, core: int) -> None:
-        while arrival_ps >= self._next_boundary_ps:
-            self._run_boundary(self._next_boundary_ps)
-            self._next_boundary_ps += self.interval_ps
-        self._issue_due_swaps(arrival_ps)
+        self._tick(arrival_ps)
 
         page = address >> self._page_shift
         if page < self._fast_pages:
@@ -134,13 +129,9 @@ class MemPodManager(MemoryManager):
                 spacing,
             )
 
-    def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
-        """Apply one paced copy: remap, move data, block the copy window."""
-        page_a, page_b = self.pods[pod].remap.swap_frames(frame_a, frame_b)
-        completion = self.engine.swap_pages(frame_a, frame_b, issue_ps, pod=pod)
-        self._block_page(page_a, completion)
-        self._block_page(page_b, completion)
-        return completion
+    def _swap_remap(self, frame_a: int, frame_b: int, pod: int) -> "tuple[int, int]":
+        """MemPod shards its remap table per pod; flip the owning shard."""
+        return self.pods[pod].remap.swap_frames(frame_a, frame_b)
 
     def _remap_lookup(self, pod: Pod, page: int, at_ps: int) -> int:
         """Consult the pod's remap cache; return the miss penalty in ps.
@@ -189,10 +180,6 @@ class MemPodManager(MemoryManager):
         total = hits + misses
         return misses / total if total else 0.0
 
-    def storage_report(self) -> "dict[str, int]":
-        report = {"remap_bits": 0, "tracking_bits": 0}
-        for pod in self.pods:
-            bits = pod.storage_bits()
-            report["remap_bits"] += bits["remap_bits"]
-            report["tracking_bits"] += bits["tracking_bits"]
-        return report
+    def storage_components(self):
+        """One component per pod: each prices its remap shard + MEA unit."""
+        return self.pods

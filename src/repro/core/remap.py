@@ -1,18 +1,27 @@
-"""Per-pod remap table and inverted (fast-frame) table.
+"""Remap-table building block: bijective page-to-frame state.
 
-MemPod needs two lookups (paper Section 5.2):
+Every migration mechanism that moves data without rewriting addresses
+needs the same two lookups (paper Sections 4.2 and 5.2):
 
 * **forward** — given a requested (original) page, where does its data
   currently live?  Consulted on every memory access.
 * **inverted** — given a fast-memory frame, which original page's data
-  occupies it?  Consulted by the eviction scan when picking a fast
-  frame to vacate for an incoming hot page.
+  occupies it?  Consulted when picking a frame to vacate for an
+  incoming hot page.
 
 Both start as the identity (no page has moved) and stay sparse: only
 migrated pages occupy dict entries.  The two directions are updated
 together by :meth:`RemapTable.swap_frames`, the only mutation, so the
 bijection invariant (forward and inverse composing to identity) holds
 by construction; :meth:`check_invariants` verifies it for tests.
+
+The subclasses are the paper's remap-table *policies* — the same state
+machine priced differently for the Table 1 hardware-cost comparison:
+:class:`PageTableRemap` is HMA's OS page table (zero modelled
+hardware), :class:`DirectRemap` is the one-entry-per-fast-slot table of
+set-restricted mechanisms (THM segments, CAMEO congruence groups), and
+MemPod's per-pod tables are plain :class:`RemapTable` instances priced
+by :meth:`~repro.core.pod.Pod.storage_bits`.
 """
 
 from __future__ import annotations
@@ -88,3 +97,36 @@ class RemapTable:
                 )
             if page == frame:
                 raise MigrationError(f"identity entry {page} stored explicitly")
+
+    def storage_bits(self) -> Dict[str, int]:
+        """Hardware cost of this table as a storage component.
+
+        The base table does not price itself — mechanisms that use bare
+        tables (MemPod's per-pod shards) price them in their own
+        component (:meth:`repro.core.pod.Pod.storage_bits`).
+        """
+        return {"remap_bits": 0, "tracking_bits": 0}
+
+
+class PageTableRemap(RemapTable):
+    """OS-page-table remap policy (HMA): migrations are made visible by
+    rewriting page tables at the epoch, so address translation costs no
+    modelled hardware — the table here is the *simulated* page table."""
+
+
+class DirectRemap(RemapTable):
+    """Set-restricted remap policy (THM segments, CAMEO groups).
+
+    Hardware is one entry per fast slot recording which of the set's
+    ``ways`` members is resident, so the cost is
+    ``slots * ceil(log2(ways))`` bits (Table 1).
+    """
+
+    def __init__(self, slots: int, ways: int) -> None:
+        super().__init__()
+        self.slots = slots
+        self.ways = ways
+
+    def storage_bits(self) -> Dict[str, int]:
+        entry_bits = max(1, self.ways.bit_length())
+        return {"remap_bits": self.slots * entry_bits, "tracking_bits": 0}

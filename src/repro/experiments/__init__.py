@@ -9,12 +9,15 @@ from .common import (
 )
 from .comparison import FIG8_MECHANISMS, ComparisonResult, run_comparison
 from .design_space import (
+    DESIGN_MECHANISMS,
     FIG6_COUNTERS,
     FIG6_EPOCHS_US,
     FIG7_BITS,
     SWEEP_WORKLOADS,
+    DesignSpaceResult,
     Fig6Result,
     Fig7Result,
+    run_design_space,
     run_fig6,
     run_fig7,
 )
@@ -33,6 +36,8 @@ from .tables import (
 __all__ = [
     "CACHE_WORKLOADS",
     "ComparisonResult",
+    "DESIGN_MECHANISMS",
+    "DesignSpaceResult",
     "ExperimentConfig",
     "FIG10_MECHANISMS",
     "FIG3_WORKLOADS",
@@ -56,6 +61,7 @@ __all__ = [
     "format_table2",
     "format_table3",
     "run_comparison",
+    "run_design_space",
     "run_fig10",
     "run_fig6",
     "run_fig7",

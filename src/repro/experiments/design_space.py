@@ -1,4 +1,5 @@
-"""Figures 6 and 7 — MemPod's tracking/migration design space.
+"""Figures 6 and 7 — MemPod's tracking/migration design space —
+plus the registry-driven mechanism design-space comparison.
 
 * Figure 6 — average AMMAT over all workloads for every (epoch length,
   MEA counter count) pair: epochs 25-500 us, counters 16-512.  The
@@ -10,6 +11,11 @@
   migrations per pod per interval on the secondary axis.
 * Figure 7b — the same sweep at 100 us / 128 counters, where the
   optimum width grows to ~4 bits.
+* :func:`run_design_space` — beyond the paper: every *registered*
+  migrating mechanism (the paper's four plus the novel hybrids of
+  :mod:`repro.mechanisms.hybrids`) compared on the same traces, with
+  the Section-4 building-block composition and hardware storage of each
+  alongside the timing results.  ``repro design`` renders it.
 """
 
 from __future__ import annotations
@@ -19,8 +25,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.units import us
 from ..runner.pool import SweepRunner, get_default_runner, sim_cell
-from ..system.stats import arithmetic_mean
-from .common import ExperimentConfig, format_rows
+from ..system.stats import SimulationResult, arithmetic_mean
+from .common import (
+    HMA_SCALED_INTERVAL_PS,
+    HMA_SCALED_MAX_MIGRATIONS,
+    ExperimentConfig,
+    format_rows,
+)
 
 FIG6_EPOCHS_US = (25, 50, 100, 200, 500)
 FIG6_COUNTERS = (16, 32, 64, 128, 256, 512)
@@ -174,4 +185,144 @@ def run_fig7(
             migrations.append(sim.extras.get("migrations_per_pod_interval", 0.0))
         result.ammat_ns[width] = arithmetic_mean(ammat)
         result.migrations_per_pod_interval[width] = arithmetic_mean(migrations)
+    return result
+
+
+# -- mechanism design space (beyond the paper) -------------------------------
+
+# The paper's four migrating mechanisms plus the registered hybrids.
+DESIGN_MECHANISMS = ("mempod", "hma", "thm", "cameo", "hma-mea", "thm-pods")
+
+
+@dataclass
+class DesignSpaceResult:
+    """Registered mechanisms compared on the same traces.
+
+    ``normalized`` maps workload -> mechanism -> AMMAT relative to the
+    no-migration TLM baseline; ``storage`` carries each mechanism's
+    remap/tracking hardware bits, and ``specs`` its declared Section-4
+    building-block composition (straight from the registry
+    fingerprint).
+    """
+
+    mechanisms: Sequence[str]
+    normalized: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    raw: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+    storage: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    specs: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def workloads(self) -> List[str]:
+        return list(self.normalized)
+
+    def average(self, mechanism: str) -> float:
+        """Mean normalised AMMAT over the evaluated workloads."""
+        return arithmetic_mean(
+            [self.normalized[name][mechanism] for name in self.normalized]
+        )
+
+    def format_table(self) -> str:
+        headers = ["workload"] + list(self.mechanisms)
+        rows = [
+            [name] + [self.normalized[name][m] for m in self.mechanisms]
+            for name in self.workloads()
+        ]
+        rows.append(["AVG"] + [self.average(m) for m in self.mechanisms])
+        return format_rows(
+            headers,
+            rows,
+            title=(
+                "Design space - AMMAT normalised to no-migration TLM "
+                "(paper mechanisms + registered hybrids; lower is better)"
+            ),
+        )
+
+    def format_specs(self) -> str:
+        """The building-block composition + storage of each mechanism."""
+        rows = []
+        for mechanism in self.mechanisms:
+            spec = self.specs[mechanism]
+            bits = self.storage[mechanism]
+            tracker = str(spec["tracker"] or "-").rpartition(":")[2]
+            rows.append([
+                mechanism,
+                spec["trigger"],
+                spec["flexibility"],
+                spec["remap_policy"],
+                tracker,
+                bits["remap_bits"] // 8,
+                bits["tracking_bits"] // 8,
+            ])
+        return format_rows(
+            [
+                "mechanism", "trigger", "flexibility", "remap", "tracking",
+                "remap (B)", "tracking (B)",
+            ],
+            rows,
+            title="Mechanism composition (Section 4 building blocks) and hardware storage",
+        )
+
+
+def design_params(config: ExperimentConfig, mechanism: str) -> Dict[str, int]:
+    """Scaled parameters for one design-space mechanism.
+
+    HMA needs its scaled epoch/penalty (see :mod:`.common`); the
+    ``hma-mea`` hybrid runs the same scaled epoch and migration budget
+    but takes no sort penalty by construction.  Everything else runs
+    its registered defaults.
+    """
+    if mechanism == "hma":
+        return config.hma_params()
+    if mechanism == "hma-mea":
+        return {
+            "interval_ps": HMA_SCALED_INTERVAL_PS,
+            "max_migrations_per_interval": HMA_SCALED_MAX_MIGRATIONS,
+        }
+    return {}
+
+
+def run_design_space(
+    config: ExperimentConfig,
+    mechanisms: Sequence[str] = DESIGN_MECHANISMS,
+    workloads: Sequence[str] = SWEEP_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
+) -> DesignSpaceResult:
+    """Compare registered mechanisms (canonical + hybrid) head to head.
+
+    Novel mechanisms have no specialised replay kernel, so their cells
+    run the reference loop via the dispatcher's safe fallback — slower,
+    identical semantics — which is why the default workload set is the
+    Figure 6 sweep subset rather than all 27.
+    """
+    from ..mechanisms.registry import get_mechanism
+    from ..system.simulator import build_manager
+
+    runner = runner if runner is not None else get_default_runner()
+    result = DesignSpaceResult(mechanisms=tuple(mechanisms))
+    names = config.workload_list(workloads)
+
+    for mechanism in mechanisms:
+        result.specs[mechanism] = get_mechanism(mechanism).fingerprint()
+        manager = build_manager(
+            mechanism, config.geometry, **design_params(config, mechanism)
+        )
+        result.storage[mechanism] = manager.storage_report()
+
+    cells = []
+    for name in names:
+        cells.append(sim_cell(config, name, "tlm"))
+        cells.extend(
+            sim_cell(config, name, mechanism, **design_params(config, mechanism))
+            for mechanism in mechanisms
+        )
+    sims = iter(runner.map(cells))
+    for name in names:
+        baseline = next(sims)
+        per_mech: Dict[str, SimulationResult] = {"tlm": baseline}
+        normalized: Dict[str, float] = {}
+        for mechanism in mechanisms:
+            sim = next(sims)
+            per_mech[mechanism] = sim
+            normalized[mechanism] = sim.normalized_to(baseline)
+        result.raw[name] = per_mech
+        result.normalized[name] = normalized
     return result

@@ -40,8 +40,10 @@ reference loop's (``tests/test_kernel_differential.py`` enforces this
 across all ``MANAGER_KINDS``).  Guaranteeing that requires exactness,
 not plausibility, so dispatch is deliberately conservative:
 
-* ``type(manager) is X`` — a subclass may override anything, so it
-  falls back to the reference loop;
+* dispatch keys on the mechanism's declared ``(trigger, flexibility)``
+  shape, but then requires ``type(manager) is`` the canonical class the
+  loop was written against — a subclass or a novel registered spec may
+  override anything, so both fall back to the reference loop;
 * configurations with metadata caches or the CAMEO predictor fall back
   (their per-record cache state makes hoisting a wash anyway);
 * traces with any out-of-range address fall back, because the direct
@@ -434,8 +436,8 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
 
     Batches the DRAM side exactly like :func:`_replay_mempod`:
     per-controller column buffers flushed at chunk ends and before any
-    epoch or due-swap work (``_run_epoch`` may ``block_until`` the whole
-    machine in stall mode, so deferred demand must land first).
+    epoch or due-swap work (``_run_boundary`` may ``block_until`` the
+    whole machine in stall mode, so deferred demand must land first).
     """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
@@ -450,7 +452,7 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
     expiry = manager._blocked_expiry
     queue = manager._swap_queue
     issue_swaps = manager._issue_due_swaps
-    run_epoch = manager._run_epoch
+    run_epoch = manager._run_boundary
     interval = manager.interval_ps
     next_boundary = manager._next_boundary_ps
     page_shift = manager._page_shift
@@ -716,41 +718,79 @@ def _replay_cameo(trace, packed, manager, throttle_cap_ps):
 last_dispatch = "unused"
 
 
+def _gate_mempod(manager):
+    return "metadata-cache" if manager._caches is not None else None
+
+
+def _gate_metadata_cache(manager):
+    return "metadata-cache" if manager._cache is not None else None
+
+
+def _gate_cameo(manager):
+    return "predictor" if manager.predictor_entries else None
+
+
+def _gate_none(manager):
+    return None
+
+
+#: Spec-shape dispatch table: (trigger, flexibility) -> (canonical
+#: manager class, kernel name, label, config gate).  Each specialised
+#: loop was written against one canonical implementation, so after the
+#: shape match the manager's type must still be *exactly* that class —
+#: shape says what the mechanism does, not how its internals are laid
+#: out.  Kernels are stored by name and resolved through the module
+#: namespace at dispatch time, so tests can monkeypatch a loop.
+_SHAPE_KERNELS = {
+    ("none", "none"): (NoMigrationManager, "_replay_tlm", "tlm", _gate_none),
+    ("none", "single"): (
+        SingleLevelManager, "_replay_single", "single-level", _gate_none,
+    ),
+    ("interval", "pod"): (MemPodManager, "_replay_mempod", "mempod", _gate_mempod),
+    ("epoch", "global"): (HmaManager, "_replay_hma", "hma", _gate_metadata_cache),
+    ("threshold", "segment"): (
+        ThmManager, "_replay_thm", "thm", _gate_metadata_cache,
+    ),
+    ("event", "group"): (CameoManager, "_replay_cameo", "cameo", _gate_cameo),
+}
+
+
 def select_kernel(manager) -> "tuple":
     """Pick the specialised kernel for ``manager``: ``(kernel, reason)``.
 
-    ``kernel`` is ``None`` when only the reference loop is exact for
-    this configuration; ``reason`` always explains the decision:
+    Dispatch goes through the mechanism's declared *shape* — its
+    ``(trigger, flexibility)`` pair — then verifies the concrete type is
+    the canonical implementation the specialised loop was written
+    against.  ``kernel`` is ``None`` when only the reference loop is
+    exact for this configuration; ``reason`` always explains the
+    decision:
 
     * ``specialised:<kind>`` — the named fast loop will run;
     * ``fallback:metadata-cache`` — per-record cache state (MemPod/HMA/
       THM metadata caches) makes hoisting a wash and is not inlined;
     * ``fallback:predictor`` — the CAMEO line-location predictor;
-    * ``fallback:subclass:<Name>`` — a manager subclass may override
-      anything, so only the reference loop is trusted.
+    * ``fallback:subclass:<Name>`` — a subclass of a canonical manager
+      may override anything, so only the reference loop is trusted;
+    * ``fallback:novel-spec:<Name>`` — a registered mechanism sharing a
+      canonical shape but not its implementation;
+    * ``fallback:novel-shape:<trigger>x<flexibility>`` — a shape no
+      specialised loop exists for.
     """
     manager_type = type(manager)
-    if manager_type is NoMigrationManager:
-        return _replay_tlm, "specialised:tlm"
-    if manager_type is MemPodManager:
-        if manager._caches is not None:
-            return None, "fallback:metadata-cache"
-        return _replay_mempod, "specialised:mempod"
-    if manager_type is SingleLevelManager:
-        return _replay_single, "specialised:single-level"
-    if manager_type is HmaManager:
-        if manager._cache is not None:
-            return None, "fallback:metadata-cache"
-        return _replay_hma, "specialised:hma"
-    if manager_type is ThmManager:
-        if manager._cache is not None:
-            return None, "fallback:metadata-cache"
-        return _replay_thm, "specialised:thm"
-    if manager_type is CameoManager:
-        if manager.predictor_entries:
-            return None, "fallback:predictor"
-        return _replay_cameo, "specialised:cameo"
-    return None, f"fallback:subclass:{manager_type.__name__}"
+    trigger = getattr(manager, "trigger", "none")
+    flexibility = getattr(manager, "flexibility", "none")
+    entry = _SHAPE_KERNELS.get((trigger, flexibility))
+    if entry is None:
+        return None, f"fallback:novel-shape:{trigger}x{flexibility}"
+    canonical, kernel_name, label, gate = entry
+    if manager_type is not canonical:
+        if issubclass(manager_type, canonical):
+            return None, f"fallback:subclass:{manager_type.__name__}"
+        return None, f"fallback:novel-spec:{manager_type.__name__}"
+    blocked = gate(manager)
+    if blocked is not None:
+        return None, f"fallback:{blocked}"
+    return globals()[kernel_name], f"specialised:{label}"
 
 
 def fast_simulate(trace, manager, throttle_cap_ps=DEFAULT_THROTTLE_CAP_PS):

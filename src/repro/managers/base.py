@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, ClassVar, Dict, Iterable, List, Optional, Tuple
 
 from ..core.datapath import MigrationEngine, MigrationStats
 from ..geometry import MemoryGeometry
@@ -33,6 +33,14 @@ class MemoryManager(ABC):
 
     #: short mechanism label used in reports ("MemPod", "THM", ...)
     name: str = "base"
+
+    #: Section-4 shape of the mechanism: when migrations happen
+    #: ("interval", "epoch", "threshold", "event", or "none") and where
+    #: a page may migrate to ("pod", "global", "segment", "group",
+    #: "single", or "none").  The fast replay kernel dispatches on this
+    #: (trigger, flexibility) pair, not on the concrete class.
+    trigger: ClassVar[str] = "none"
+    flexibility: ClassVar[str] = "none"
 
     def __init__(self, memory: "HybridMemory", geometry: MemoryGeometry) -> None:
         self.memory = memory
@@ -169,3 +177,98 @@ class MemoryManager(ABC):
         """``(name, one-line summary)`` for experiment tables."""
         doc = (self.__doc__ or "").strip().splitlines()
         return self.name, doc[0] if doc else ""
+
+
+class TrackerStorage:
+    """Adapter pricing an :class:`~repro.tracking.base.ActivityTracker`
+    as a storage component (trackers report a plain bit count)."""
+
+    def __init__(self, tracker) -> None:
+        self.tracker = tracker
+
+    def storage_bits(self) -> Dict[str, int]:
+        return {"remap_bits": 0, "tracking_bits": self.tracker.storage_bits()}
+
+
+class ComposedManager(MemoryManager):
+    """Execution skeleton shared by every migrating mechanism.
+
+    The paper's Section 4 decomposes a migration mechanism into five
+    building blocks; this class owns the glue between them so concrete
+    managers only supply the blocks themselves:
+
+    * **trigger** — boundary-triggered managers (interval/epoch) call
+      :meth:`_tick` at the top of ``handle``: it runs every elapsed
+      boundary through the :meth:`_run_boundary` hook, then applies the
+      paced copies that have come due.  Inline-triggered managers
+      (threshold/event) skip the tick and migrate from their own
+      ``handle``.
+    * **remap table** — a :class:`~repro.core.remap.RemapTable` policy
+      in ``self.remap``; :meth:`_swap_remap` is the override point for
+      mechanisms whose table is sharded (MemPod keeps one per pod).
+    * **datapath** — the shared :meth:`_apply_swap` applies one
+      scheduled copy in the canonical order: flip the remap entries,
+      move the data, block both in-flight pages for the copy window.
+    * **storage reporting** — :meth:`storage_report` sums the
+      dict-valued ``storage_bits()`` of every component yielded by
+      :meth:`storage_components`, so Table 1 costs follow the actual
+      composition instead of a hand-maintained formula.
+    """
+
+    def __init__(
+        self,
+        memory: "HybridMemory",
+        geometry: MemoryGeometry,
+        interval_ps: Optional[int] = None,
+    ) -> None:
+        super().__init__(memory, geometry)
+        self.interval_ps = interval_ps
+        self._next_boundary_ps = interval_ps
+        self._page_shift = (geometry.page_bytes - 1).bit_length()
+        self._page_mask = geometry.page_bytes - 1
+
+    # -- trigger -----------------------------------------------------------
+
+    def _tick(self, arrival_ps: int) -> None:
+        """Advance simulated time to ``arrival_ps``: run every elapsed
+        boundary, then issue the paced copies that have come due."""
+        while arrival_ps >= self._next_boundary_ps:
+            self._run_boundary(self._next_boundary_ps)
+            self._next_boundary_ps += self.interval_ps
+        self._issue_due_swaps(arrival_ps)
+
+    def _run_boundary(self, at_ps: int) -> None:
+        """Plan one boundary's migrations (interval/epoch triggers)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has trigger={self.trigger!r} but no "
+            "_run_boundary; boundary-triggered managers must implement it"
+        )
+
+    # -- datapath ----------------------------------------------------------
+
+    def _swap_remap(self, frame_a: int, frame_b: int, pod: int) -> Tuple[int, int]:
+        """Flip the remap entries for one copy; returns the two pages
+        whose data is in flight.  Sharded tables override."""
+        return self.remap.swap_frames(frame_a, frame_b)
+
+    def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
+        """Apply one paced copy: remap, move data, block the copy window."""
+        page_a, page_b = self._swap_remap(frame_a, frame_b, pod)
+        completion = self.engine.swap_pages(frame_a, frame_b, issue_ps, pod=pod)
+        self._block_page(page_a, completion)
+        self._block_page(page_b, completion)
+        return completion
+
+    # -- storage reporting -------------------------------------------------
+
+    def storage_components(self) -> Iterable:
+        """Components with dict-valued ``storage_bits()`` to price."""
+        return ()
+
+    def storage_report(self) -> Dict[str, int]:
+        report = {"remap_bits": 0, "tracking_bits": 0}
+        for component in self.storage_components():
+            bits = component.storage_bits()
+            report["remap_bits"] += bits["remap_bits"]
+            report["tracking_bits"] += bits["tracking_bits"]
+        return report

@@ -25,18 +25,21 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..core.remap import DirectRemap
 from ..dram.request import BOOKKEEPING
 from ..geometry import MemoryGeometry
 from ..system.hybrid import HybridMemory
-from .base import MemoryManager
+from .base import ComposedManager
 
 LINE_BYTES = 64
 
 
-class CameoManager(MemoryManager):
+class CameoManager(ComposedManager):
     """Swap-on-every-slow-access at 64 B granularity."""
 
     name = "CAMEO"
+    trigger = "event"
+    flexibility = "group"
 
     def __init__(
         self,
@@ -46,9 +49,14 @@ class CameoManager(MemoryManager):
     ) -> None:
         super().__init__(memory, geometry)
         self.fast_lines = geometry.fast_bytes // LINE_BYTES
-        # Line-granularity remap, sparse identity (original -> current).
-        self._location: Dict[int, int] = {}
-        self._resident: Dict[int, int] = {}
+        # Line-granularity remap, sparse identity (original -> current);
+        # the aliases expose the policy's raw dicts to the fast kernel.
+        self.remap = DirectRemap(
+            self.fast_lines,
+            max(1, (geometry.slow_bytes // LINE_BYTES) // self.fast_lines),
+        )
+        self._location: Dict[int, int] = self.remap._forward
+        self._resident: Dict[int, int] = self.remap._resident
         self.predictor_entries = predictor_entries
         self._predictor: Dict[int, int] = {}
         self.predictor_hits = 0
@@ -97,7 +105,7 @@ class CameoManager(MemoryManager):
         if evicted in self._untouched_in_fast:
             del self._untouched_in_fast[evicted]
             self.wasted_migrations += 1
-        line_a, line_b = self._swap_locations(fast_slot, current)
+        line_a, line_b = self.remap.swap_frames(fast_slot, current)
         completion = self.engine.swap_lines(
             fast_slot * LINE_BYTES, current * LINE_BYTES, arrival_ps
         )
@@ -105,18 +113,6 @@ class CameoManager(MemoryManager):
         self._block_page(line_b, completion)
         self._untouched_in_fast[line] = True
         self.total_migrations += 1
-
-    def _swap_locations(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
-        line_a = self._resident.get(frame_a, frame_a)
-        line_b = self._resident.get(frame_b, frame_b)
-        for moved, frame in ((line_a, frame_b), (line_b, frame_a)):
-            if moved == frame:
-                self._location.pop(moved, None)
-                self._resident.pop(frame, None)
-            else:
-                self._location[moved] = frame
-                self._resident[frame] = moved
-        return line_a, line_b
 
     def _predict(self, line: int, at_ps: int) -> int:
         """Line Location Predictor; returns the misprediction penalty.
@@ -142,11 +138,6 @@ class CameoManager(MemoryManager):
         self._block_page(line, at_ps + fill_cost)
         return fill_cost
 
-    def storage_report(self) -> "dict[str, int]":
+    def storage_components(self):
         """One remap entry per fast line; no activity tracking at all."""
-        ratio = max(1, (self.geometry.slow_bytes // LINE_BYTES) // self.fast_lines)
-        entry_bits = max(1, ratio.bit_length())
-        return {
-            "remap_bits": self.fast_lines * entry_bits,
-            "tracking_bits": 0,
-        }
+        return (self.remap,)

@@ -30,12 +30,13 @@ from ..common.config import (
     require_positive_int,
 )
 from ..common.units import ms
+from ..core.remap import PageTableRemap
 from ..dram.request import BOOKKEEPING
 from ..geometry import MemoryGeometry
 from ..system.cache import MetadataCache
 from ..system.hybrid import HybridMemory
 from ..tracking.full_counters import FullCountersTracker
-from .base import MemoryManager
+from .base import ComposedManager, TrackerStorage
 
 DEFAULT_INTERVAL_PS = ms(100)
 DEFAULT_SORT_PENALTY_PS = ms(7)
@@ -43,10 +44,12 @@ DEFAULT_HOT_THRESHOLD = 8
 DEFAULT_MAX_MIGRATIONS = 256
 
 
-class HmaManager(MemoryManager):
+class HmaManager(ComposedManager):
     """Epoch-based OS migration with full per-page counters."""
 
     name = "HMA"
+    trigger = "epoch"
+    flexibility = "global"
 
     def __init__(
         self,
@@ -60,13 +63,12 @@ class HmaManager(MemoryManager):
         penalty_mode: str = "compute",
         cache_bytes: int = 0,
     ) -> None:
-        super().__init__(memory, geometry)
         require_positive_int("interval_ps", interval_ps)
         require_non_negative_int("sort_penalty_ps", sort_penalty_ps)
         require_positive_int("hot_threshold", hot_threshold)
         require_positive_int("max_migrations_per_interval", max_migrations_per_interval)
         require_in("penalty_mode", penalty_mode, ("compute", "stall"))
-        self.interval_ps = interval_ps
+        super().__init__(memory, geometry, interval_ps=interval_ps)
         self.sort_penalty_ps = sort_penalty_ps
         self.penalty_mode = penalty_mode
         self.hot_threshold = hot_threshold
@@ -83,22 +85,19 @@ class HmaManager(MemoryManager):
             else None
         )
         self.counters_missed = 0
-        # The OS page table: original page -> frame, and its inverse.
-        self._location: Dict[int, int] = {}
-        self._resident: Dict[int, int] = {}
-        self._next_boundary_ps = interval_ps
-        self._page_shift = (geometry.page_bytes - 1).bit_length()
-        self._page_mask = geometry.page_bytes - 1
+        # The simulated OS page table.  The aliases expose the policy's
+        # raw dicts under the names the fast kernel and tests bind to —
+        # same objects, so mutation through either view is seen by both.
+        self.remap = PageTableRemap()
+        self._location: Dict[int, int] = self.remap._forward
+        self._resident: Dict[int, int] = self.remap._resident
         self.total_migrations = 0
         self.intervals = 0
 
     # -- request path ---------------------------------------------------------
 
     def handle(self, address: int, is_write: bool, arrival_ps: int, core: int) -> None:
-        while arrival_ps >= self._next_boundary_ps:
-            self._run_epoch(self._next_boundary_ps)
-            self._next_boundary_ps += self.interval_ps
-        self._issue_due_swaps(arrival_ps)
+        self._tick(arrival_ps)
 
         page = address >> self._page_shift
         self.tracker.record(page)
@@ -112,7 +111,7 @@ class HmaManager(MemoryManager):
             new_address, is_write, arrival_ps, account_ps=arrival_ps - penalty_ps
         )
 
-    def _run_epoch(self, at_ps: int) -> None:
+    def _run_boundary(self, at_ps: int) -> None:
         """Sort penalty, then migrate hot pages in, coldest pages out.
 
         The penalty is CPU time spent sorting counters and rewriting
@@ -169,14 +168,6 @@ class HmaManager(MemoryManager):
         address = store_page * self.geometry.page_bytes + (line * 64) % self.geometry.page_bytes
         self.memory.access(address, False, at_ps, kind=BOOKKEEPING)
 
-    def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
-        """Apply one paced copy: page table, data movement, copy blocking."""
-        page_a, page_b = self._swap_locations(frame_a, frame_b)
-        completion = self.engine.swap_pages(frame_a, frame_b, issue_ps, pod=pod)
-        self._block_page(page_a, completion)
-        self._block_page(page_b, completion)
-        return completion
-
     def _victim_heap(self, counts: Dict[int, int]) -> List[Tuple[int, int, int]]:
         """Min-heap of (resident count, tiebreak, frame) over fast frames."""
         heap = []
@@ -185,18 +176,6 @@ class HmaManager(MemoryManager):
             heap.append((counts.get(resident, 0), frame, frame))
         heapq.heapify(heap)
         return heap
-
-    def _swap_locations(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
-        page_a = self._resident.get(frame_a, frame_a)
-        page_b = self._resident.get(frame_b, frame_b)
-        for page, frame in ((page_a, frame_b), (page_b, frame_a)):
-            if page == frame:
-                self._location.pop(page, None)
-                self._resident.pop(frame, None)
-            else:
-                self._location[page] = frame
-                self._resident[frame] = page
-        return page_a, page_b
 
     def finish(self, end_ps: int) -> int:
         """Drain the devices.
@@ -208,6 +187,6 @@ class HmaManager(MemoryManager):
         """
         return super().finish(end_ps)
 
-    def storage_report(self) -> "dict[str, int]":
-        """No remap hardware; full counters over every page."""
-        return {"remap_bits": 0, "tracking_bits": self.tracker.storage_bits()}
+    def storage_components(self):
+        """No remap hardware (OS page table); full counters over every page."""
+        return (self.remap, TrackerStorage(self.tracker))

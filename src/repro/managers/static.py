@@ -32,6 +32,7 @@ class SingleLevelManager(MemoryManager):
     """
 
     name = "HBM-only"
+    flexibility = "single"
 
     def __init__(self, memory: SingleLevelMemory, geometry: MemoryGeometry) -> None:
         # Deliberately skip MemoryManager.__init__'s MigrationEngine: a

@@ -22,12 +22,13 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..common.config import require_positive_int
+from ..core.remap import DirectRemap
 from ..dram.request import BOOKKEEPING
 from ..geometry import MemoryGeometry
 from ..system.cache import MetadataCache
 from ..system.hybrid import HybridMemory
 from ..tracking.competing import CompetingCounterArray
-from .base import MemoryManager
+from .base import ComposedManager, TrackerStorage
 
 # Competing-counter trigger threshold.  Low thresholds thrash under
 # low-locality traffic (every fourth touch of a segment migrates a page
@@ -37,10 +38,12 @@ DEFAULT_THRESHOLD = 16
 SRT_ENTRY_BYTES = 8  # counter + segment remap state share one entry
 
 
-class ThmManager(MemoryManager):
+class ThmManager(ComposedManager):
     """Segment-restricted migration with competing counters."""
 
     name = "THM"
+    trigger = "threshold"
+    flexibility = "segment"
 
     def __init__(
         self,
@@ -50,21 +53,25 @@ class ThmManager(MemoryManager):
         counter_bits: int = 8,
         cache_bytes: int = 0,
     ) -> None:
-        super().__init__(memory, geometry)
         require_positive_int("threshold", threshold)
+        super().__init__(memory, geometry)
         self.counters = CompetingCounterArray(
             segments=geometry.fast_pages,
             threshold=threshold,
             counter_bits=counter_bits,
         )
-        # Segment-local remap: original page -> frame and frame -> page.
-        self._location: Dict[int, int] = {}
-        self._resident: Dict[int, int] = {}
+        # Segment-local remap: one entry per fast frame recording which
+        # member of its segment is resident.  The aliases expose the
+        # policy's raw dicts under the names the fast kernel binds to.
+        self.remap = DirectRemap(
+            geometry.fast_pages,
+            max(1, geometry.slow_pages // geometry.fast_pages),
+        )
+        self._location: Dict[int, int] = self.remap._forward
+        self._resident: Dict[int, int] = self.remap._resident
         self._cache: Optional[MetadataCache] = (
             MetadataCache(cache_bytes, entry_bytes=SRT_ENTRY_BYTES) if cache_bytes else None
         )
-        self._page_shift = (geometry.page_bytes - 1).bit_length()
-        self._page_mask = geometry.page_bytes - 1
         self.total_migrations = 0
 
     # -- segment topology ---------------------------------------------------
@@ -110,24 +117,12 @@ class ThmManager(MemoryManager):
         challenger_frame = self._location.get(challenger, challenger)
         if challenger_frame == fast_frame:
             return 0  # already resident (stale trigger)
-        page_a, page_b = self._swap_locations(fast_frame, challenger_frame)
+        page_a, page_b = self.remap.swap_frames(fast_frame, challenger_frame)
         completion = self.engine.swap_pages(fast_frame, challenger_frame, at_ps)
         self._block_page(page_a, completion)
         self._block_page(page_b, completion)
         self.total_migrations += 1
         return completion - at_ps
-
-    def _swap_locations(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
-        page_a = self._resident.get(frame_a, frame_a)
-        page_b = self._resident.get(frame_b, frame_b)
-        for page, frame in ((page_a, frame_b), (page_b, frame_a)):
-            if page == frame:
-                self._location.pop(page, None)
-                self._resident.pop(frame, None)
-            else:
-                self._location[page] = frame
-                self._resident[frame] = page
-        return page_a, page_b
 
     def _srt_lookup(self, segment: int, page: int, at_ps: int) -> int:
         """SRT cache lookup; returns the miss penalty in picoseconds."""
@@ -145,11 +140,6 @@ class ThmManager(MemoryManager):
         self._block_page(page, at_ps + fill_cost)
         return fill_cost
 
-    def storage_report(self) -> "dict[str, int]":
+    def storage_components(self):
         """Per-fast-page remap entry + the competing-counter array."""
-        ratio = max(1, self.geometry.slow_pages // self.geometry.fast_pages)
-        entry_bits = max(1, ratio.bit_length())  # which member is resident
-        return {
-            "remap_bits": self.geometry.fast_pages * entry_bits,
-            "tracking_bits": self.counters.storage_bits(),
-        }
+        return (self.remap, TrackerStorage(self.counters))

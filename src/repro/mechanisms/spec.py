@@ -1,0 +1,218 @@
+"""Declarative mechanism specifications (the paper's Section 4 grammar).
+
+A migration mechanism is a composition of five building blocks:
+migration flexibility, remap table, activity tracking, migration
+trigger, and migration datapath.  :class:`MechanismSpec` states a
+mechanism's choice for each block plus the factory that assembles the
+concrete :class:`~repro.managers.base.ComposedManager`; the registry in
+:mod:`repro.mechanisms.registry` resolves names to specs and the lint
+rule in :mod:`repro.analysis.lint` validates every registered spec
+before a sweep can trip over it.
+
+The declarative fields are *load-bearing* in three places:
+
+* ``trigger``/``flexibility`` must match the manager class the factory
+  builds — the fast replay kernel dispatches on that (trigger,
+  flexibility) shape (:func:`repro.kernel.replay.select_kernel`);
+* ``valid_params`` is the contract ``build_manager`` enforces before
+  the constructor runs, so an unknown kwarg fails with a
+  :class:`~repro.common.errors.ConfigError` naming the legal ones;
+* :meth:`MechanismSpec.fingerprint` feeds the sweep cache
+  (:mod:`repro.runner.pool`), so editing a registered spec invalidates
+  cached results computed under the old definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..common.errors import ConfigError
+
+#: When migrations happen: at fixed interval boundaries (MemPod), at OS
+#: epoch boundaries (HMA), when a counter crosses a threshold (THM), on
+#: every qualifying access (CAMEO), or never (the baselines).
+TRIGGERS = ("none", "interval", "epoch", "threshold", "event")
+
+#: Where a page may migrate to: anywhere within its pod, anywhere in
+#: fast memory ("global"), only its segment's fast frame, only its
+#: congruence group's fast slot, nowhere ("none" — pinned two-level
+#: placement), or the whole space is one technology ("single").
+FLEXIBILITIES = ("none", "single", "pod", "global", "segment", "group")
+
+#: Remap-table policy: per-pod sharded tables, the OS page table (no
+#: modelled hardware), a direct one-entry-per-fast-slot table, or none.
+REMAP_POLICIES = ("none", "per-pod", "page-table", "direct")
+
+#: Which memory system the factory is handed.
+MEMORY_KINDS = ("hybrid", "fast-only", "slow-only")
+
+
+@dataclass(frozen=True)
+class DatapathSpec:
+    """Migration-datapath options (paper Section 4.5).
+
+    ``batched_swaps`` — boundary plans are paced over the interval as a
+    batch of frame-disjoint copies (vs inline swap-at-trigger);
+    ``sort_penalty`` — the trigger charges a fixed boundary penalty
+    (HMA's counter sort); ``metadata_fills`` — remap/tracking metadata
+    can live behind a cache whose misses inject backing-store reads.
+    """
+
+    batched_swaps: bool = False
+    sort_penalty: bool = False
+    metadata_fills: bool = False
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """One mechanism, stated as its Section-4 building blocks.
+
+    ``factory`` is called as ``factory(memory, geometry, **params)`` and
+    must return a manager whose ``trigger``/``flexibility`` class
+    attributes equal the spec's (validated by :meth:`validate` via
+    ``manager_shape`` when the factory is a manager class).  ``tracker``
+    is the activity-tracking factory as an importable ``module:attr``
+    path, or ``None`` for mechanisms that track nothing.
+    """
+
+    name: str
+    summary: str
+    trigger: str
+    flexibility: str
+    remap_policy: str
+    tracker: Optional[str]
+    factory: Callable[..., Any]
+    valid_params: Tuple[str, ...] = ()
+    memory_kind: str = "hybrid"
+    datapath: DatapathSpec = DatapathSpec()
+    #: parameter defaults applied (if not given) under ``future_tech``
+    future_tech_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the spec is internally legal; raises ``ConfigError``.
+
+        Run at registration time and again by the ``mechanism-registry``
+        lint rule, so a bad spec fails ``repro lint`` before it fails a
+        sweep.
+        """
+        if not self.name or self.name != self.name.strip():
+            raise ConfigError(f"mechanism name {self.name!r} is empty or padded")
+        if self.trigger not in TRIGGERS:
+            raise ConfigError(
+                f"mechanism {self.name!r}: trigger {self.trigger!r} is not "
+                f"one of {TRIGGERS}"
+            )
+        if self.flexibility not in FLEXIBILITIES:
+            raise ConfigError(
+                f"mechanism {self.name!r}: flexibility {self.flexibility!r} "
+                f"is not one of {FLEXIBILITIES}"
+            )
+        if self.remap_policy not in REMAP_POLICIES:
+            raise ConfigError(
+                f"mechanism {self.name!r}: remap_policy {self.remap_policy!r} "
+                f"is not one of {REMAP_POLICIES}"
+            )
+        if self.memory_kind not in MEMORY_KINDS:
+            raise ConfigError(
+                f"mechanism {self.name!r}: memory_kind {self.memory_kind!r} "
+                f"is not one of {MEMORY_KINDS}"
+            )
+        if not callable(self.factory):
+            raise ConfigError(f"mechanism {self.name!r}: factory is not callable")
+        shape = manager_shape(self.factory)
+        if shape is not None and shape != (self.trigger, self.flexibility):
+            raise ConfigError(
+                f"mechanism {self.name!r} declares shape "
+                f"({self.trigger!r}, {self.flexibility!r}) but its factory "
+                f"{self.factory.__name__} has shape {shape!r} — the kernel "
+                "dispatcher keys on the declared shape, so they must agree"
+            )
+        for key, _ in self.future_tech_overrides:
+            if key not in self.valid_params:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: future-tech override "
+                    f"{key!r} is not a valid parameter"
+                )
+        self.resolve_tracker()
+
+    def validate_params(self, params: Dict[str, Any]) -> None:
+        """Reject unknown constructor kwargs with a naming error."""
+        unknown = sorted(set(params) - set(self.valid_params))
+        if unknown:
+            accepted = (
+                ", ".join(sorted(self.valid_params))
+                if self.valid_params
+                else "none"
+            )
+            raise ConfigError(
+                f"mechanism {self.name!r} got unknown parameter(s) "
+                f"{unknown}; valid parameters: {accepted}"
+            )
+
+    def resolve_tracker(self) -> Optional[Callable[..., Any]]:
+        """Import and return the activity-tracker factory (or ``None``).
+
+        Raises ``ConfigError`` when the declared path does not import —
+        the lint rule calls this so a typo fails ``repro lint``.
+        """
+        if self.tracker is None:
+            return None
+        module_name, _, attr = self.tracker.partition(":")
+        if not module_name or not attr:
+            raise ConfigError(
+                f"mechanism {self.name!r}: tracker {self.tracker!r} is not "
+                "a 'module:attr' path"
+            )
+        try:
+            module = import_module(module_name)
+        except ImportError as error:
+            raise ConfigError(
+                f"mechanism {self.name!r}: tracker module "
+                f"{module_name!r} does not import ({error})"
+            ) from error
+        factory = getattr(module, attr, None)
+        if factory is None:
+            raise ConfigError(
+                f"mechanism {self.name!r}: tracker {self.tracker!r} names "
+                f"no attribute {attr!r} in {module_name!r}"
+            )
+        return factory
+
+    # -- cache identity ----------------------------------------------------
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Deterministic JSON-able identity for the sweep cache."""
+        datapath = self.datapath
+        return {
+            "name": self.name,
+            "trigger": self.trigger,
+            "flexibility": self.flexibility,
+            "remap_policy": self.remap_policy,
+            "tracker": self.tracker,
+            "memory_kind": self.memory_kind,
+            "datapath": {
+                "batched_swaps": datapath.batched_swaps,
+                "sort_penalty": datapath.sort_penalty,
+                "metadata_fills": datapath.metadata_fills,
+            },
+            "factory": f"{self.factory.__module__}:{self.factory.__qualname__}",
+            "valid_params": sorted(self.valid_params),
+            "future_tech_overrides": sorted(self.future_tech_overrides),
+        }
+
+
+def manager_shape(factory: Callable[..., Any]) -> Optional[Tuple[str, str]]:
+    """The (trigger, flexibility) a manager-class factory declares.
+
+    ``None`` for plain-function factories, whose shape cannot be read
+    statically (the built manager still carries it).
+    """
+    trigger = getattr(factory, "trigger", None)
+    flexibility = getattr(factory, "flexibility", None)
+    if isinstance(trigger, str) and isinstance(flexibility, str):
+        return trigger, flexibility
+    return None

@@ -35,8 +35,9 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
 
 #: fingerprint schema version — bump when the payload layout changes
-#: (v2: cells carry the replay-kernel choice; v3: the sanitize flag)
-SCHEMA_VERSION = 3
+#: (v2: cells carry the replay-kernel choice; v3: the sanitize flag;
+#: v4: the mechanism-spec fingerprint)
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,12 @@ class SimCell:
     ``sanitize`` is fingerprinted for the same reason — sanitized runs
     are proven result-identical, but a sanitizer bug must never hide
     behind (or poison) cached unsanitized results.
+
+    The payload also embeds the registered
+    :class:`~repro.mechanisms.spec.MechanismSpec` fingerprint for
+    ``kind``: editing a registered spec (or re-registering a name with
+    a different composition) invalidates every cached result computed
+    under the old definition.
     """
 
     config: "ExperimentConfig"
@@ -69,6 +76,8 @@ class SimCell:
 
     def payload(self) -> Dict[str, Any]:
         """The fingerprint inputs (everything the result depends on)."""
+        from ..mechanisms.registry import get_mechanism  # lazy: avoids a cycle
+
         config = self.config
         return {
             "cell": "simulation",
@@ -80,6 +89,7 @@ class SimCell:
             "geometry": asdict(config.geometry),
             "workload": self.workload,
             "kind": self.kind,
+            "spec": get_mechanism(self.kind).fingerprint(),
             "future_tech": self.future_tech,
             "params": dict(self.params),
             "kernel": self.kernel,

@@ -7,9 +7,12 @@ traffic), then the manager closes its final interval and the devices
 drain.  All timing lives in the manager + device layers; the simulator
 is deliberately a thin, obviously-correct loop.
 
-:func:`build_manager` is the configuration front door: it constructs
-the memory system and manager for a mechanism name, applying the
-Figure 10 "future technology" preset when asked.
+:func:`build_manager` is the configuration front door: it resolves a
+mechanism name through the spec registry
+(:mod:`repro.mechanisms.registry`), which constructs the memory system
+and manager and applies the Figure 10 "future technology" preset when
+asked.  Both it and ``MANAGER_KINDS`` are re-exported here — this
+module remains the stable import path for simulation entry points.
 """
 
 from __future__ import annotations
@@ -18,83 +21,25 @@ import os
 from typing import Optional
 
 from ..common.config import require_in
-from ..common.errors import ConfigError
-from ..common.units import ms
-from ..core.mempod import MemPodManager
-from ..dram.devices import (
-    DDR4_1600_TIMING,
-    DDR4_2400_TIMING,
-    HBM_OVERCLOCKED_TIMING,
-    HBM_TIMING,
-)
 from ..geometry import MemoryGeometry
-from ..managers import (
-    CameoManager,
-    HmaManager,
-    MemoryManager,
-    NoMigrationManager,
-    SingleLevelManager,
-    ThmManager,
-)
-from ..system.hybrid import HybridMemory, SingleLevelMemory
+from ..managers import MemoryManager
+from ..mechanisms.registry import MANAGER_KINDS, build_manager
 from ..trace.record import Trace
 from .stats import SimulationResult, collect_result
 
-MANAGER_KINDS = (
-    "tlm",  # two-level memory, no migration (the normalisation baseline)
-    "mempod",
-    "hma",
-    "thm",
-    "cameo",
-    "hbm-only",
-    "ddr-only",
-)
-
-
-def build_manager(
-    kind: str,
-    geometry: MemoryGeometry,
-    future_tech: bool = False,
-    window: int = 8,
-    **params,
-) -> MemoryManager:
-    """Construct the memory system and manager for mechanism ``kind``.
-
-    ``future_tech`` selects the Section 6.3.4 parts (HBM at 4 GHz,
-    DDR4-2400); extra ``params`` are passed to the manager constructor
-    (e.g. ``interval_ps`` or ``cache_bytes`` for MemPod).
-    """
-    require_in("kind", kind, MANAGER_KINDS)
-    fast_timing = HBM_OVERCLOCKED_TIMING if future_tech else HBM_TIMING
-    slow_timing = DDR4_2400_TIMING if future_tech else DDR4_1600_TIMING
-
-    if kind == "hbm-only":
-        single = SingleLevelMemory(geometry, timing=fast_timing, window=window)
-        return SingleLevelManager(single, geometry)
-    if kind == "ddr-only":
-        single = SingleLevelMemory(
-            geometry, timing=slow_timing, channels=geometry.slow_channels, window=window
-        )
-        return SingleLevelManager(single, geometry)
-
-    memory = HybridMemory(
-        geometry, fast_timing=fast_timing, slow_timing=slow_timing, window=window
-    )
-    if kind == "tlm":
-        if params:
-            raise ConfigError(f"tlm takes no extra parameters, got {sorted(params)}")
-        return NoMigrationManager(memory, geometry)
-    if kind == "mempod":
-        return MemPodManager(memory, geometry, **params)
-    if kind == "hma":
-        if future_tech and "sort_penalty_ps" not in params:
-            # The paper reduces HMA's fixed penalty 7 ms -> 4.2 ms to model
-            # the faster future processor.
-            params["sort_penalty_ps"] = ms(4.2)
-        return HmaManager(memory, geometry, **params)
-    if kind == "thm":
-        return ThmManager(memory, geometry, **params)
-    return CameoManager(memory, geometry, **params)
+__all__ = [
+    "MANAGER_KINDS",
+    "build_manager",
+    "reference_simulate",
+    "simulate",
+    "run",
+    "resolve_kernel",
+    "KERNEL_KINDS",
+    "KERNEL_ENV_VAR",
+    "DEFAULT_KERNEL",
+    "DEFAULT_THROTTLE_CAP_PS",
+    "THROTTLE_SAMPLE_PERIOD",
+]
 
 
 # CPU back-pressure defaults: how far the memory system may run behind
