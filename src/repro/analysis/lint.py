@@ -103,11 +103,22 @@ KERNEL_FINGERPRINT_FUNCTIONS: Tuple[str, ...] = (
     "repro/system/hybrid.py::SingleLevelMemory.access",
     "repro/system/hybrid.py::SingleLevelMemory.peak_bus_free_ps",
     # controller access accounting the kernels enqueue into directly,
-    # and the scheduling internals enqueue_batch inlines
+    # and the scheduling internals enqueue_batch / enqueue_run inline
     "repro/dram/controller.py::ChannelController.enqueue",
+    "repro/dram/controller.py::ChannelController.enqueue_batch",
+    "repro/dram/controller.py::ChannelController.enqueue_run",
     "repro/dram/controller.py::ChannelController._choose",
     "repro/dram/controller.py::ChannelController._service_at",
     "repro/dram/bank.py::Bank.access",
+    # the migration datapath's batched transaction pattern
+    "repro/core/datapath.py::MigrationEngine.swap_pages",
+    # tracker batch twins the columnar kernels drive (bit-identical to
+    # the per-record loops by the tracker differential suite)
+    "repro/tracking/mea.py::MeaTracker.record",
+    "repro/tracking/mea.py::MeaTracker.record_batch",
+    "repro/tracking/competing.py::CompetingCounterArray.access_batch",
+    "repro/tracking/competing.py::CompetingCounterArray._access_loop",
+    "repro/tracking/full_counters.py::FullCountersTracker.record_batch",
 )
 
 _WALL_CLOCK_ATTRS = frozenset({

@@ -12,6 +12,11 @@ invariants the paper's design rests on:
 * **MEA semantics** (Section 3) — at most K counters live, every
   counter within its saturating range, and evictions only ever produced
   by Karp decrement rounds;
+* **competing-counter / full-counter semantics** (Section 2 baselines)
+  — THM counters stay inside their saturating range and strictly below
+  the trigger threshold between records (a crossing must migrate and
+  reset), and HMA's per-page counters are positive, saturated at their
+  width, and attached to legal pages;
 * **timeline sanity** — per-channel bus and completion timestamps and
   per-bank ``busy_until`` never move backwards, and every open row is a
   legal row index (or -1, precharged);
@@ -247,6 +252,8 @@ class SimulationSanitizer:
     # -- tracking-state semantics ---------------------------------------------
 
     def _check_tracking(self, cycle_ps: int) -> None:
+        self._check_competing_counters(cycle_ps)
+        self._check_full_counters(cycle_ps)
         pods = getattr(self.manager, "pods", None)
         if pods is None:
             return
@@ -284,6 +291,61 @@ class SimulationSanitizer:
                     f"{mea.evictions} evictions exceed {mea.insertions} "
                     "insertions",
                     pod=pod.pod_id, cycle_ps=cycle_ps,
+                )
+
+    def _check_competing_counters(self, cycle_ps: int) -> None:
+        """THM: every competing counter inside its saturating range and
+        defended below the trigger threshold (a crossing resets to 0, so
+        a counter at or above the threshold between records means the
+        batched Lindley recursion missed a trigger)."""
+        counters = getattr(self.manager, "counters", None)
+        counts = getattr(counters, "_counts", None)
+        if counts is None:
+            return
+        max_count = counters._max_count
+        bound = min(counters.threshold, max_count + 1)
+        for segment, count in enumerate(counts):
+            if not 0 <= count <= max_count:
+                self._fail(
+                    "competing-counter-range",
+                    f"segment {segment} counter {count} outside the "
+                    f"{counters.counter_bits}-bit saturating range "
+                    f"[0, {max_count}]",
+                    cycle_ps=cycle_ps,
+                )
+            if count >= bound:
+                self._fail(
+                    "competing-counter-trigger",
+                    f"segment {segment} counter {count} at or above the "
+                    f"trigger threshold {counters.threshold} between "
+                    "records: a crossing must migrate and reset to 0",
+                    cycle_ps=cycle_ps,
+                )
+
+    def _check_full_counters(self, cycle_ps: int) -> None:
+        """HMA: every per-page counter positive, saturated at its width,
+        and attached to a legal page."""
+        tracker = getattr(self.manager, "tracker", None)
+        counts = getattr(tracker, "_counts", None)
+        if counts is None:
+            return
+        max_count = tracker._max_count
+        total_pages = tracker.total_pages
+        for page, count in counts.items():
+            if not 1 <= count <= max_count:
+                self._fail(
+                    "full-counter-range",
+                    f"page {page} counter {count} outside the "
+                    f"{tracker.counter_bits}-bit saturating range "
+                    f"[1, {max_count}] (zero entries must not be stored)",
+                    cycle_ps=cycle_ps,
+                )
+            if not 0 <= page < total_pages:
+                self._fail(
+                    "full-counter-range",
+                    f"counter stored for page {page}, outside the "
+                    f"{total_pages}-page address space",
+                    cycle_ps=cycle_ps,
                 )
 
     # -- blocking-table sanity -------------------------------------------------

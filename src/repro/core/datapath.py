@@ -71,6 +71,14 @@ class MigrationEngine:
         self.memory = memory
         self.geometry = geometry
         self.stats = MigrationStats()
+        #: When set, :meth:`swap_pages` issues its transaction pattern
+        #: through ``ChannelController.enqueue_run`` /
+        #: ``enqueue_batch`` instead of per-line ``enqueue`` calls.  Bit-identical (controllers
+        #: share no state and per-controller order is preserved), so the
+        #: columnar replay kernels flip it on for the duration of a run
+        #: (restored in their ``finally``); the reference loop keeps the
+        #: per-transaction path as the semantic spec.
+        self.batch_swaps = False
         lines = geometry.lines_per_page
         self._page_phase_ps = max(
             self._phase_cost(memory.fast.timing, lines),
@@ -127,17 +135,42 @@ class MigrationEngine:
         page_bytes = geometry.page_bytes
         ctrl_a, bank_a, row_a = self._locate(frame_a * page_bytes)
         ctrl_b, bank_b, row_b = self._locate(frame_b * page_bytes)
-        enqueue_a = ctrl_a.enqueue
-        enqueue_b = ctrl_b.enqueue
         write_ps = at_ps + self._page_phase_ps
-        # Reads of both candidates into the migration buffers...
-        for _ in range(lines):
-            enqueue_a(bank_a, row_a, False, at_ps, MIGRATION)
-            enqueue_b(bank_b, row_b, False, at_ps, MIGRATION)
-        # ...then the two write-backs to the swapped locations.
-        for _ in range(lines):
-            enqueue_a(bank_a, row_a, True, write_ps, MIGRATION)
-            enqueue_b(bank_b, row_b, True, write_ps, MIGRATION)
+        if self.batch_swaps:
+            if ctrl_a is ctrl_b:
+                # One shared controller sees the interleaved a/b pattern
+                # as a single column: 2*lines reads, then 2*lines writes.
+                banks = [bank_a, bank_b] * lines
+                rows = [row_a, row_b] * lines
+                ctrl_a.enqueue_batch(
+                    banks + banks,
+                    rows + rows,
+                    [False] * (2 * lines) + [True] * (2 * lines),
+                    [at_ps] * (2 * lines) + [write_ps] * (2 * lines),
+                    None,
+                    MIGRATION,
+                )
+            else:
+                # Distinct controllers share no state, so each side's
+                # per-controller subsequence (lines reads, lines writes)
+                # replays the interleaved loop exactly — and each
+                # subsequence is a run of identical transactions, the
+                # shape enqueue_run streams in a closed row-hit loop.
+                ctrl_a.enqueue_run(bank_a, row_a, False, at_ps, lines, MIGRATION)
+                ctrl_b.enqueue_run(bank_b, row_b, False, at_ps, lines, MIGRATION)
+                ctrl_a.enqueue_run(bank_a, row_a, True, write_ps, lines, MIGRATION)
+                ctrl_b.enqueue_run(bank_b, row_b, True, write_ps, lines, MIGRATION)
+        else:
+            enqueue_a = ctrl_a.enqueue
+            enqueue_b = ctrl_b.enqueue
+            # Reads of both candidates into the migration buffers...
+            for _ in range(lines):
+                enqueue_a(bank_a, row_a, False, at_ps, MIGRATION)
+                enqueue_b(bank_b, row_b, False, at_ps, MIGRATION)
+            # ...then the two write-backs to the swapped locations.
+            for _ in range(lines):
+                enqueue_a(bank_a, row_a, True, write_ps, MIGRATION)
+                enqueue_b(bank_b, row_b, True, write_ps, MIGRATION)
         self.stats.note_swap(2 * page_bytes, pod=pod)
         return at_ps + self.page_swap_cost_ps
 

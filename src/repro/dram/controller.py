@@ -604,6 +604,122 @@ class ChannelController:
         stats.migration_count += migration_n
         stats.bookkeeping_count += bookkeeping_n
 
+    def enqueue_run(
+        self,
+        bank: int,
+        row: int,
+        is_write: bool,
+        arrival_ps: int,
+        count: int,
+        kind: int = DEMAND,
+    ) -> None:
+        """``count`` identical :meth:`enqueue` calls, bit for bit.
+
+        The swap datapath issues page copies as runs of same-bank
+        same-row transactions sharing one arrival (32 reads then 32
+        writes per page side at paper scale).  Equal arrivals defeat
+        :meth:`enqueue_batch`'s idle-drain fast path: the buffer fills
+        to the window, and from then on every append provably services
+        exactly one pending entry — FR-FCFS picks the head (it is a row
+        hit at the head's own arrival; age promotion cannot fire between
+        equal arrivals), which is a *twin* of the incoming element, so
+        the buffer's content never changes.  This entry point feeds
+        elements through :meth:`enqueue` until that steady state holds
+        (window-full buffer of identical entries, row open, bus
+        direction matching, no refresh boundary pending), then services
+        the remaining twins in a closed row-hit loop.
+        """
+        if count <= 0:
+            return
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_sink.add(self._dirty_key)
+        pending = self._pending
+        window = self.window
+        bank_obj = self.banks[bank]
+        entry = (arrival_ps, arrival_ps, bank, row, is_write, kind)
+        first = True
+        while count:
+            if (
+                window > 1
+                and len(pending) == window
+                and bank_obj.open_row == row
+                and is_write == self._last_was_write
+                and not (self._trefi_ps and arrival_ps >= self._next_refresh_ps)
+                and all(p == entry for p in pending)
+            ):
+                break
+            self.enqueue(bank, row, is_write, arrival_ps, kind)
+            count -= 1
+            if first:
+                first = False
+                # The first call's drain loop either emptied the buffer
+                # or broke because its chosen head starts at or after our
+                # arrival; with nothing serviced in between, every
+                # further equal-arrival enqueue below the window repeats
+                # that break (appending can only add row hits that start
+                # at max(arrival, busy) >= arrival), so the reference
+                # behaviour of the next ``window - len`` calls is a pure
+                # append each — do them in one extend.
+                bulk = window - len(pending)
+                if bulk > count:
+                    bulk = count
+                if bulk > 0:
+                    pending.extend([entry] * bulk)
+                    count -= bulk
+        if not count:
+            return
+        # Steady state: each remaining element is an append + one
+        # service of its pending twin — a guaranteed row hit whose
+        # timing is the recurrence below (cf. the _service clone in
+        # enqueue_batch with open_row == row and no direction change).
+        burst = self._burst_ps
+        tcas = self.timing.tcas_ps
+        bank_busy = bank_obj.busy_until_ps
+        bus_free = self.bus_free_ps
+        total_lat = 0
+        # The recurrence stabilises within three steps: from the second
+        # element start advances by exactly one burst, and the bus
+        # excess e = bus_free - (start + tcas) maps to max(e, 0), which
+        # is a fixed point from the third element on.  Everything after
+        # is an arithmetic series: completions one burst apart.
+        head = 3 if count > 3 else count
+        completion = bus_free
+        for _ in range(head):
+            start = arrival_ps if arrival_ps > bank_busy else bank_busy
+            bank_busy = start + burst
+            data_ready = start + tcas
+            completion = (data_ready if data_ready > bus_free else bus_free) + burst
+            bus_free = completion
+            total_lat += completion - arrival_ps
+        tail = count - head
+        if tail > 0:
+            bank_busy += tail * burst
+            bus_free += tail * burst
+            total_lat += tail * (completion - arrival_ps) + burst * tail * (tail + 1) // 2
+        bank_obj.busy_until_ps = bank_busy
+        bank_obj.hits += count
+        self.bus_free_ps = bus_free
+        if bus_free > self.last_completion_ps:
+            self.last_completion_ps = bus_free
+        stats = self.stats
+        stats.served += count
+        if is_write:
+            stats.writes += count
+        else:
+            stats.reads += count
+        stats.row_hits += count
+        stats.total_latency_ps += total_lat
+        if kind == DEMAND:
+            stats.demand_latency_ps += total_lat
+            stats.demand_count += count
+        elif kind == MIGRATION:
+            stats.migration_latency_ps += total_lat
+            stats.migration_count += count
+        else:
+            stats.bookkeeping_latency_ps += total_lat
+            stats.bookkeeping_count += count
+
     def flush(self) -> int:
         """Service every buffered transaction; return last completion time."""
         if not self._dirty:

@@ -28,11 +28,16 @@ mutations with the per-record overhead hoisted out:
   exact because controllers share no state, intra-controller order is
   preserved within a chunk, and the offset only changes at chunk
   boundaries.  Direct kernels (tlm / single-level) batch every chunk
-  this way; the migrating kernels (mempod / hma / thm) accumulate
-  per-controller column buffers record by record and flush them
-  whenever controller-touching work intervenes (an interval boundary, a
-  due swap, an inline THM migration) and at every chunk end, so the
-  per-controller enqueue order is exactly the reference's.
+  this way; the migrating kernels (mempod / hma / thm) run a columnar
+  interval engine: a binary search over the arrival column locates
+  where the next event lands (an interval boundary, a due swap, an
+  inline THM migration trigger), the event-free slice before it is
+  processed with vectorised penalty/translation/grouping passes and
+  batched tracker updates (``record_batch`` / ``access_batch``), the
+  event itself replays scalar, and swap traffic goes down the same
+  ``enqueue_batch`` datapath (``MigrationEngine.batch_swaps``).  Every
+  numpy kernel has a per-record pure-Python twin (``*_pure``) that the
+  no-numpy leg dispatches to.
 
 **Equality contract**: for every supported configuration the fast
 kernel produces a ``SimulationResult`` equal field-for-field to the
@@ -78,6 +83,11 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
     _np = None
 
 LINE_SHIFT = LINE_BYTES.bit_length() - 1
+
+#: Event-free slices at or below this length replay per record inside the
+#: columnar engine: a handful of scalar buffer appends is cheaper than the
+#: per-slice column set-up (snapshot searches, argsort, tolist).
+_SCALAR_SLICE = 32
 
 
 # -- decode planes ---------------------------------------------------------
@@ -187,9 +197,8 @@ def _hybrid_plane(packed, memory):
     return plane
 
 
-def _mempod_pod_plane(packed, manager):
-    """Owning-pod id per record (MemPod's inlined pod-of-page formula)."""
-    key = (
+def _mempod_pod_key(manager) -> tuple:
+    return (
         "mempod-pods",
         manager._page_shift,
         manager._fast_pages,
@@ -199,6 +208,11 @@ def _mempod_pod_plane(packed, manager):
         manager._slow_chan,
         manager._slow_cpp,
     )
+
+
+def _mempod_pod_plane(packed, manager):
+    """Owning-pod id per record (MemPod's inlined pod-of-page formula)."""
+    key = _mempod_pod_key(manager)
     plane = packed.planes.get(key)
     if plane is None:
         pages = packed.pages(manager._page_shift)
@@ -324,19 +338,371 @@ def _replay_direct(
     return collect_result(manager, trace, end_ps)
 
 
+def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_trackers):
+    """Columnar engine shared by the boundary-triggered kernels.
+
+    Replays the trace interval by interval instead of record by record:
+    within each throttle chunk, one ``searchsorted`` over the arrival
+    column (:meth:`PackedTrace.cut_at`) finds where the next event — an
+    interval boundary or a due paced swap — lands, and everything before
+    the cut is one *event-free slice* processed with vectorised column
+    arithmetic:
+
+    * block penalties via binary search against a sorted snapshot of
+      the block table (``blocked_columns``), pruned once per slice —
+      state-equivalent to the reference's per-record prune because
+      entries expired for an earlier record yield no penalty for any
+      later one and nothing is added mid-slice;
+    * translation via binary search against a sorted snapshot of the
+      remap table (``remap_columns``); when any record hits, the whole
+      slice's channel/bank/row columns are recomputed densely from the
+      translated addresses (identity records decode identically, so no
+      scatter is needed), otherwise the memoised decode plane is used
+      as is;
+    * transactions grouped by controller (stable argsort) into
+      per-controller column buffers that live across slices and flush
+      through one ``enqueue_batch`` call per controller — exact because
+      controllers share no state and per-controller order is preserved;
+      a due swap flushes only the two controllers its frames decode to,
+      a boundary (whose plans may touch any controller) and the
+      chunk-end throttle probe flush everything;
+    * tracker updates deferred and flushed in one ``record_batch`` call
+      right before each boundary runs (trackers are only *read* at
+      boundaries and never touch the controllers, so deferral commutes);
+      ``flush_trackers(lo, hi)`` is the kernel-specific hook;
+    * migration traffic batched too: ``engine.batch_swaps`` routes
+      ``swap_pages`` through ``enqueue_batch`` for the kernel's
+      duration.
+
+    At the cut the event fires exactly as the reference per-record check
+    would: elapsed boundaries run in order (trackers flushed first),
+    then due swaps issue; both invalidate the snapshots.  The
+    ``finally`` restores the engine flag, writes the boundary cursor
+    back, and flushes trackers for every record already replayed, so an
+    exception mid-chunk cannot leave the manager with stale state.
+    """
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    batch = [ctrl.enqueue_batch for ctrl in ctrls]
+    peak_bus = memory.peak_bus_free_ps
+    plane = _hybrid_plane(packed, memory)
+    plane_ctrl, plane_bank, plane_row = plane
+    ctrl_col, bank_col, row_col = packed.np_columns(_hybrid_layout_key(memory), plane)
+    page_shift = manager._page_shift
+    page_mask = manager._page_mask
+    pages_l = packed.pages(page_shift)
+    (page_col,) = packed.np_columns(("pages", page_shift), (pages_l,))
+    (arr_col, write_col) = packed.np_columns(
+        ("records",), (packed.arrivals, packed.is_writes)
+    )
+    addr_col = packed.np_addresses()
+    addresses = packed.addresses
+    is_writes = packed.is_writes
+    blocked = manager._blocked
+    expiry = manager._blocked_expiry
+    prune_blocked = manager._prune_blocked
+    block_penalty = manager._block_penalty_ps
+    fast_decode = memory.fast.mapper.fast_decode
+    slow_decode = memory.slow.mapper.fast_decode
+    queue = manager._swap_queue
+    issue_swaps = manager._issue_due_swaps
+    run_boundary = manager._run_boundary
+    interval = manager.interval_ps
+    next_boundary = manager._next_boundary_ps
+    fast_bytes = memory.geometry.fast_bytes
+    fm = memory.fast.mapper
+    sm = memory.slow.mapper
+    fast_channels = memory.fast.channels
+    demand = DEMAND
+    engine = manager.engine
+    arrivals = packed.arrivals
+    cut_at = packed.cut_at
+    asarray = _np.asarray
+    int64 = _np.int64
+    searchsorted = _np.searchsorted
+    flatnonzero = _np.flatnonzero
+    where = _np.where
+    argsort = _np.argsort
+
+    # Per-controller column buffers.  Demand accumulates here across
+    # slices and flushes through one enqueue_batch per controller;
+    # per-controller order — the only order that matters, controllers
+    # share no state — is preserved.
+    nctrl = len(ctrls)
+    buf_bk = [[] for _ in range(nctrl)]
+    buf_rw = [[] for _ in range(nctrl)]
+    buf_wr = [[] for _ in range(nctrl)]
+    buf_ar = [[] for _ in range(nctrl)]
+    buf_ac = [[] for _ in range(nctrl)]
+
+    def flush_ctrl(c):
+        bk = buf_bk[c]
+        if bk:
+            batch[c](bk, buf_rw[c], buf_wr[c], buf_ar[c], buf_ac[c], demand)
+            buf_bk[c] = []
+            buf_rw[c] = []
+            buf_wr[c] = []
+            buf_ar[c] = []
+            buf_ac[c] = []
+
+    def flush_all():
+        for c in range(nctrl):
+            if buf_bk[c]:
+                flush_ctrl(c)
+
+    page_bytes = memory.geometry.page_bytes
+
+    def frame_ctrl(frame):
+        # Controller a swap frame's traffic lands on (engine._locate's
+        # channel component, without the bank/row decode).
+        address = frame * page_bytes
+        if address < fast_bytes:
+            return (address >> fm._bank_shift) & fm._chan_mask
+        address -= fast_bytes
+        return fast_channels + ((address >> sm._bank_shift) & sm._chan_mask)
+
+    total = packed.length
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    remap_np = None  # sorted (pages, frames) snapshot; None -> rebuild
+    blocked_np = None  # sorted (pages, untils) snapshot; None -> rebuild
+    last_ps = 0
+    offset = 0
+    pos = 0
+    i = 0
+    flushed = 0  # records whose tracker updates have been applied
+    engine.batch_swaps = True
+    try:
+        while pos < total:
+            end = pos + sample if sample else total
+            if end > total:
+                end = total
+            i = pos
+            while i < end:
+                event = next_boundary
+                if queue and queue[0][0] < event:
+                    event = queue[0][0]
+                cut = cut_at(event - offset, i, end)
+                if cut > i and remap_np is None:
+                    rpages_l, rframes_l = manager.remap_columns()
+                    remap_get = dict(zip(rpages_l, rframes_l)).get
+                    remap_np = (
+                        asarray(rpages_l, dtype=int64),
+                        asarray(rframes_l, dtype=int64),
+                    )
+                if i < cut <= i + _SCALAR_SLICE:
+                    # -- short event-free slice: per-record replay is
+                    # cheaper than the column set-up --------------------
+                    checked = len(blocked) if blocked_np is not None else -1
+                    for k in range(i, cut):
+                        arrival = arrivals[k] + offset
+                        page = pages_l[k]
+                        penalty = (
+                            block_penalty(page, arrival) if blocked or expiry else 0
+                        )
+                        frame = remap_get(page)
+                        if frame is None:
+                            ck = plane_ctrl[k]
+                            bank = plane_bank[k]
+                            row = plane_row[k]
+                        else:
+                            translated = (frame << page_shift) | (
+                                addresses[k] & page_mask
+                            )
+                            if translated < fast_bytes:
+                                ck, bank, row = fast_decode(translated)
+                            else:
+                                ck, bank, row = slow_decode(translated - fast_bytes)
+                                ck += fast_channels
+                        buf_bk[ck].append(bank)
+                        buf_rw[ck].append(row)
+                        buf_wr[ck].append(is_writes[k])
+                        buf_ar[ck].append(arrival)
+                        buf_ac[ck].append(arrival - penalty)
+                    if checked >= 0 and len(blocked) != checked:
+                        blocked_np = None
+                    i = cut
+                elif cut > i:
+                    # -- event-free slice [i, cut) ----------------------
+                    arr = arr_col[i:cut]
+                    if offset:
+                        arr = arr + offset
+                    pg = page_col[i:cut]
+                    acct = None
+                    if blocked or expiry:
+                        if blocked:
+                            if blocked_np is None:
+                                bpages, buntils = manager.blocked_columns()
+                                blocked_np = (
+                                    asarray(bpages, dtype=int64),
+                                    asarray(buntils, dtype=int64),
+                                )
+                            bpages, buntils = blocked_np
+                            bidx = searchsorted(bpages, pg)
+                            _np.minimum(bidx, len(bpages) - 1, out=bidx)
+                            bhit = bpages[bidx] == pg
+                            if bhit.any():
+                                pen = buntils[bidx[bhit]] - arr[bhit]
+                                stalled = pen > 0
+                                hits = int(stalled.sum())
+                                if hits:
+                                    manager.blocked_hits += hits
+                                    acct = arr.copy()
+                                    acct[flatnonzero(bhit)[stalled]] -= pen[stalled]
+                        size = len(blocked)
+                        prune_blocked(arrivals[cut - 1] + offset)
+                        if len(blocked) != size:
+                            blocked_np = None
+                    rpages, rframes = remap_np
+                    translated = None
+                    if len(rpages):
+                        ridx = searchsorted(rpages, pg)
+                        _np.minimum(ridx, len(rpages) - 1, out=ridx)
+                        rhit = rpages[ridx] == pg
+                        if rhit.any():
+                            frames = pg.copy()
+                            frames[rhit] = rframes[ridx[rhit]]
+                            translated = (frames << page_shift) | (
+                                addr_col[i:cut] & page_mask
+                            )
+                    if translated is None:
+                        ci = ctrl_col[i:cut]
+                        bk = bank_col[i:cut]
+                        rw = row_col[i:cut]
+                    else:
+                        is_fast = translated < fast_bytes
+                        off = where(is_fast, translated, translated - fast_bytes)
+                        ci = where(
+                            is_fast,
+                            (off >> fm._bank_shift) & fm._chan_mask,
+                            fast_channels
+                            + ((off >> sm._bank_shift) & sm._chan_mask),
+                        )
+                        bk = where(
+                            is_fast,
+                            (off >> fm._row_shift) & fm._bank_mask,
+                            (off >> sm._row_shift) & sm._bank_mask,
+                        )
+                        rw = where(
+                            is_fast, off >> fm._chan_shift, off >> sm._chan_shift
+                        )
+                    order = argsort(ci, kind="stable")
+                    ci_s = ci[order]
+                    cuts = flatnonzero(ci_s[1:] != ci_s[:-1]) + 1
+                    bounds = [0, *cuts.tolist(), cut - i]
+                    ci_l = ci_s.tolist()
+                    bk_l = bk[order].tolist()
+                    rw_l = rw[order].tolist()
+                    wr_l = write_col[i:cut][order].tolist()
+                    ar_l = arr[order].tolist()
+                    ac_l = ar_l if acct is None else acct[order].tolist()
+                    for gi in range(len(bounds) - 1):
+                        lo = bounds[gi]
+                        hi = bounds[gi + 1]
+                        c = ci_l[lo]
+                        buf_bk[c].extend(bk_l[lo:hi])
+                        buf_rw[c].extend(rw_l[lo:hi])
+                        buf_wr[c].extend(wr_l[lo:hi])
+                        buf_ar[c].extend(ar_l[lo:hi])
+                        buf_ac[c].extend(ac_l[lo:hi])
+                    i = cut
+                if i >= end:
+                    break
+                # -- the record at the cut fires the event(s) -----------
+                arrival = arrivals[i] + offset
+                if arrival >= next_boundary:
+                    flush_trackers(flushed, i)
+                    flushed = i
+                    # Boundary plans may issue swaps to any controller.
+                    flush_all()
+                    while arrival >= next_boundary:
+                        run_boundary(next_boundary)
+                        next_boundary += interval
+                    remap_np = None
+                    blocked_np = None
+                if queue and queue[0][0] <= arrival:
+                    # A due swap's migration traffic touches exactly the
+                    # two controllers its frames decode to — deferred
+                    # demand for those must be enqueued first.
+                    for due in queue:
+                        if due[0] <= arrival:
+                            flush_ctrl(frame_ctrl(due[2]))
+                            flush_ctrl(frame_ctrl(due[3]))
+                    issue_swaps(arrival)
+                    remap_np = None
+                    blocked_np = None
+            flush_all()
+            last_ps = arrivals[end - 1] + offset
+            if end - pos == sample:
+                backlog = peak_bus() - last_ps
+                if backlog > throttle_cap_ps:
+                    offset += backlog - throttle_cap_ps
+            pos = end
+        flush_trackers(flushed, total)
+        flushed = i = total
+        manager._next_boundary_ps = next_boundary
+        end_ps = manager.finish(last_ps)
+    finally:
+        engine.batch_swaps = False
+        manager._next_boundary_ps = next_boundary
+        if flushed < i:
+            flush_trackers(flushed, i)
+            flushed = i
+    return collect_result(manager, trace, end_ps)
+
+
 def _replay_mempod(trace, packed, manager, throttle_cap_ps):
     """MemPod without a metadata cache: boundary ticks, paced swaps,
     per-pod MEA recording and remap lookup, block penalties.
 
-    The manager-side work stays per record (MEA state is order
-    dependent), but the DRAM side batches: each record's decoded
-    transaction is appended to a per-controller column buffer, flushed
-    through ``enqueue_batch`` at every chunk end and — to preserve the
-    reference's per-controller enqueue order — right before any
-    controller-touching event (interval boundary, due swap).  Remapped
-    frames decode inline through the mappers instead of
-    ``memory.access``: remap tables only ever hold in-range frames, so
-    the routing is identical and the bounds check is vacuous.
+    With numpy the columnar interval engine replays whole event-free
+    slices at once (see :func:`_columnar_interval_replay`); the MEA
+    updates deferred across a slice flush through
+    :meth:`~repro.tracking.mea.MeaTracker.record_batch` per pod, each
+    pod seeing exactly its own page subsequence in order.  Without
+    numpy the pure twin below walks the records one by one.
+    """
+    if _np is None or packed.np_addresses() is None:
+        return _replay_mempod_pure(trace, packed, manager, throttle_cap_ps)
+    shift = manager._page_shift
+    (page_col,) = packed.np_columns(("pages", shift), (packed.pages(shift),))
+    (pod_col,) = packed.np_columns(
+        (_mempod_pod_key(manager),), (_mempod_pod_plane(packed, manager),)
+    )
+    record_batches = [pod.mea.record_batch for pod in manager.pods]
+    if len(record_batches) == 1:
+        only = record_batches[0]
+
+        def flush_trackers(lo, hi):
+            if hi > lo:
+                only(page_col[lo:hi])
+
+    else:
+
+        def flush_trackers(lo, hi):
+            if hi > lo:
+                pods_slice = pod_col[lo:hi]
+                pages_slice = page_col[lo:hi]
+                for pod_id, record_batch in enumerate(record_batches):
+                    member = pages_slice[pods_slice == pod_id]
+                    if len(member):
+                        record_batch(member)
+
+    return _columnar_interval_replay(
+        trace, packed, manager, throttle_cap_ps, flush_trackers
+    )
+
+
+def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
+    """Per-record twin of the MemPod kernel (the no-numpy leg).
+
+    The manager-side work stays per record, but the DRAM side batches:
+    each record's decoded transaction is appended to a per-controller
+    column buffer, flushed through ``enqueue_batch`` at every chunk end
+    and — to preserve the reference's per-controller enqueue order —
+    right before any controller-touching event (interval boundary, due
+    swap).  Remapped frames decode inline through the mappers instead
+    of ``memory.access``: remap tables only ever hold in-range frames,
+    so the routing is identical and the bounds check is vacuous.
     """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
@@ -381,52 +747,59 @@ def _replay_mempod(trace, packed, manager, throttle_cap_ps):
     offset = 0
     pos = 0
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
-    while pos < total:
-        end = pos + sample if sample else total
-        if end > total:
-            end = total
-        for arrival, is_write, address, page, pod_id, ci, bank, row in islice(
-            records, end - pos
-        ):
-            arrival += offset
-            if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
-                # Deferred demand must reach the controllers before the
-                # boundary's or swap's migration traffic does.
-                if buffers:
-                    flush_buffers()
-                while arrival >= next_boundary:
-                    run_boundary(next_boundary)
-                    next_boundary += interval
-                if queue and queue[0][0] <= arrival:
-                    issue_swaps(arrival)
-            observe[pod_id](page)
-            if blocked or expiry:
-                penalty = block_penalty(page, arrival)
-            else:
-                penalty = 0
-            frame = forward_get[pod_id](page)
-            if frame is not None:
-                translated = (frame << page_shift) | (address & page_mask)
-                if translated < fast_bytes:
-                    ci, bank, row = fast_decode(translated)
+    engine = manager.engine
+    engine.batch_swaps = True
+    try:
+        while pos < total:
+            end = pos + sample if sample else total
+            if end > total:
+                end = total
+            for arrival, is_write, address, page, pod_id, ci, bank, row in islice(
+                records, end - pos
+            ):
+                arrival += offset
+                if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
+                    # Deferred demand must reach the controllers before
+                    # the boundary's or swap's migration traffic does.
+                    if buffers:
+                        flush_buffers()
+                    while arrival >= next_boundary:
+                        run_boundary(next_boundary)
+                        next_boundary += interval
+                    if queue and queue[0][0] <= arrival:
+                        issue_swaps(arrival)
+                observe[pod_id](page)
+                if blocked or expiry:
+                    penalty = block_penalty(page, arrival)
                 else:
-                    ci, bank, row = slow_decode(translated - fast_bytes)
-                    ci += fast_channels
-            buffered = buffer_get(ci)
-            if buffered is None:
-                buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
-            else:
-                buffered.append((bank, row, is_write, arrival, arrival - penalty))
-        if buffers:
-            flush_buffers()
-        last_ps = arrivals[end - 1] + offset
-        if end - pos == sample:
-            backlog = peak_bus() - last_ps
-            if backlog > throttle_cap_ps:
-                offset += backlog - throttle_cap_ps
-        pos = end
-    manager._next_boundary_ps = next_boundary
-    end_ps = manager.finish(last_ps)
+                    penalty = 0
+                frame = forward_get[pod_id](page)
+                if frame is not None:
+                    translated = (frame << page_shift) | (address & page_mask)
+                    if translated < fast_bytes:
+                        ci, bank, row = fast_decode(translated)
+                    else:
+                        ci, bank, row = slow_decode(translated - fast_bytes)
+                        ci += fast_channels
+                buffered = buffer_get(ci)
+                if buffered is None:
+                    buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
+                else:
+                    buffered.append((bank, row, is_write, arrival, arrival - penalty))
+            if buffers:
+                flush_buffers()
+            last_ps = arrivals[end - 1] + offset
+            if end - pos == sample:
+                backlog = peak_bus() - last_ps
+                if backlog > throttle_cap_ps:
+                    offset += backlog - throttle_cap_ps
+            pos = end
+        end_ps = manager.finish(last_ps)
+    finally:
+        # State write-back must survive a mid-chunk exception: a stale
+        # boundary cursor would double-run boundaries on the next replay.
+        engine.batch_swaps = False
+        manager._next_boundary_ps = next_boundary
     return collect_result(manager, trace, end_ps)
 
 
@@ -434,7 +807,31 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
     """HMA without a counter cache: epoch ticks, paced swaps, full-counter
     recording, page-table lookup, block penalties.
 
-    Batches the DRAM side exactly like :func:`_replay_mempod`:
+    With numpy the columnar interval engine replays whole event-free
+    slices (see :func:`_columnar_interval_replay`); the full-counter
+    updates deferred across a slice flush through one
+    :meth:`~repro.tracking.full_counters.FullCountersTracker.record_batch`
+    call per epoch.  Without numpy the pure twin walks the records.
+    """
+    if _np is None or packed.np_addresses() is None:
+        return _replay_hma_pure(trace, packed, manager, throttle_cap_ps)
+    shift = manager._page_shift
+    (page_col,) = packed.np_columns(("pages", shift), (packed.pages(shift),))
+    record_batch = manager.tracker.record_batch
+
+    def flush_trackers(lo, hi):
+        if hi > lo:
+            record_batch(page_col[lo:hi])
+
+    return _columnar_interval_replay(
+        trace, packed, manager, throttle_cap_ps, flush_trackers
+    )
+
+
+def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
+    """Per-record twin of the HMA kernel (the no-numpy leg).
+
+    Batches the DRAM side exactly like :func:`_replay_mempod_pure`:
     per-controller column buffers flushed at chunk ends and before any
     epoch or due-swap work (``_run_boundary`` may ``block_until`` the
     whole machine in stall mode, so deferred demand must land first).
@@ -481,56 +878,338 @@ def _replay_hma(trace, packed, manager, throttle_cap_ps):
     offset = 0
     pos = 0
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
-    while pos < total:
-        end = pos + sample if sample else total
-        if end > total:
-            end = total
-        for arrival, is_write, address, page, ci, bank, row in islice(
-            records, end - pos
-        ):
-            arrival += offset
-            if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
-                if buffers:
-                    flush_buffers()
-                while arrival >= next_boundary:
-                    run_epoch(next_boundary)
-                    next_boundary += interval
-                if queue and queue[0][0] <= arrival:
-                    issue_swaps(arrival)
-            record(page)
-            if blocked or expiry:
-                penalty = block_penalty(page, arrival)
-            else:
-                penalty = 0
-            frame = location_get(page)
-            if frame is not None:
-                translated = (frame << page_shift) | (address & page_mask)
-                if translated < fast_bytes:
-                    ci, bank, row = fast_decode(translated)
+    engine = manager.engine
+    engine.batch_swaps = True
+    try:
+        while pos < total:
+            end = pos + sample if sample else total
+            if end > total:
+                end = total
+            for arrival, is_write, address, page, ci, bank, row in islice(
+                records, end - pos
+            ):
+                arrival += offset
+                if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
+                    if buffers:
+                        flush_buffers()
+                    while arrival >= next_boundary:
+                        run_epoch(next_boundary)
+                        next_boundary += interval
+                    if queue and queue[0][0] <= arrival:
+                        issue_swaps(arrival)
+                record(page)
+                if blocked or expiry:
+                    penalty = block_penalty(page, arrival)
                 else:
-                    ci, bank, row = slow_decode(translated - fast_bytes)
-                    ci += fast_channels
-            buffered = buffer_get(ci)
-            if buffered is None:
-                buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
-            else:
-                buffered.append((bank, row, is_write, arrival, arrival - penalty))
-        if buffers:
-            flush_buffers()
-        last_ps = arrivals[end - 1] + offset
-        if end - pos == sample:
-            backlog = peak_bus() - last_ps
-            if backlog > throttle_cap_ps:
-                offset += backlog - throttle_cap_ps
-        pos = end
-    manager._next_boundary_ps = next_boundary
-    end_ps = manager.finish(last_ps)
+                    penalty = 0
+                frame = location_get(page)
+                if frame is not None:
+                    translated = (frame << page_shift) | (address & page_mask)
+                    if translated < fast_bytes:
+                        ci, bank, row = fast_decode(translated)
+                    else:
+                        ci, bank, row = slow_decode(translated - fast_bytes)
+                        ci += fast_channels
+                buffered = buffer_get(ci)
+                if buffered is None:
+                    buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
+                else:
+                    buffered.append((bank, row, is_write, arrival, arrival - penalty))
+            if buffers:
+                flush_buffers()
+            last_ps = arrivals[end - 1] + offset
+            if end - pos == sample:
+                backlog = peak_bus() - last_ps
+                if backlog > throttle_cap_ps:
+                    offset += backlog - throttle_cap_ps
+            pos = end
+        end_ps = manager.finish(last_ps)
+    finally:
+        # Same mid-chunk exception guarantee as the MemPod twin.
+        engine.batch_swaps = False
+        manager._next_boundary_ps = next_boundary
     return collect_result(manager, trace, end_ps)
 
 
 def _replay_thm(trace, packed, manager, throttle_cap_ps):
     """THM without an SRT cache: competing counters, inline migration,
     segment-local remap, block penalties.
+
+    THM has no boundaries, but its only event is the inline migration,
+    and :meth:`CompetingCounterArray.access_batch` both applies a run of
+    counter updates vectorised *and* reports where the first threshold
+    crossing lands.  So each throttle chunk replays as: translate the
+    chunk densely (one binary search against the remap snapshot),
+    classify every record as challenger or defender from its effective
+    frame, let ``access_batch`` find the first trigger, process the
+    trigger-free prefix columnar (penalties, translation, per-controller
+    ``enqueue_batch``), then replay the triggering record itself through
+    the exact scalar path — which performs the migration — and repeat
+    from the next record with fresh snapshots.
+    """
+    if _np is None or packed.np_addresses() is None:
+        return _replay_thm_pure(trace, packed, manager, throttle_cap_ps)
+    memory = manager.memory
+    ctrls = _hybrid_controllers(memory)
+    batch = [ctrl.enqueue_batch for ctrl in ctrls]
+    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    peak_bus = memory.peak_bus_free_ps
+    plane = _hybrid_plane(packed, memory)
+    plane_ctrl, plane_bank, plane_row = plane
+    ctrl_col, bank_col, row_col = packed.np_columns(_hybrid_layout_key(memory), plane)
+    shift = manager._page_shift
+    pages = packed.pages(shift)
+    segments = _thm_segment_plane(packed, manager)
+    fast_pages = manager.geometry.fast_pages
+    (page_col,) = packed.np_columns(("pages", shift), (pages,))
+    (seg_col,) = packed.np_columns(
+        ("thm-segments", shift, fast_pages), (segments,)
+    )
+    (arr_col, write_col) = packed.np_columns(
+        ("records",), (packed.arrivals, packed.is_writes)
+    )
+    addr_col = packed.np_addresses()
+    access_batch = manager.counters.access_batch
+    access_resident = manager.counters.access_resident
+    access_challenger = manager.counters.access_challenger
+    migrate = manager._migrate
+    location_get = manager._location.get
+    resident_get = manager.remap._resident.get
+    block_penalty = manager._block_penalty_ps
+    blocked = manager._blocked
+    expiry = manager._blocked_expiry
+    prune_blocked = manager._prune_blocked
+    page_shift = manager._page_shift
+    page_mask = manager._page_mask
+    fast_bytes = memory.geometry.fast_bytes
+    fm = memory.fast.mapper
+    sm = memory.slow.mapper
+    fast_decode = fm.fast_decode
+    slow_decode = sm.fast_decode
+    fast_channels = memory.fast.channels
+    demand = DEMAND
+    engine = manager.engine
+    arrivals = packed.arrivals
+    is_writes = packed.is_writes
+    addresses = packed.addresses
+    asarray = _np.asarray
+    int64 = _np.int64
+    searchsorted = _np.searchsorted
+    flatnonzero = _np.flatnonzero
+    where = _np.where
+    argsort = _np.argsort
+
+    total = packed.length
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    remap_np = None
+    blocked_np = None
+    last_ps = 0
+    offset = 0
+    pos = 0
+
+    empty = _np.empty
+    concatenate = _np.concatenate
+
+    def shifted_in(arr, idx, value):
+        out = empty(len(arr) + 1, dtype=arr.dtype)
+        out[:idx] = arr[:idx]
+        out[idx] = value
+        out[idx + 1 :] = arr[idx:]
+        return out
+
+    def patch_remap(snapshot, moved_page):
+        # One migration changes at most two forward entries; patching the
+        # sorted snapshot in place (O(len) insert/delete at worst) beats
+        # re-sorting the whole table after every trigger.
+        rpages, rframes = snapshot
+        idx = int(searchsorted(rpages, moved_page))
+        present = idx < len(rpages) and rpages[idx] == moved_page
+        new_frame = location_get(moved_page, moved_page)
+        if new_frame != moved_page:
+            if present:
+                rframes[idx] = new_frame
+                return snapshot
+            return (
+                shifted_in(rpages, idx, moved_page),
+                shifted_in(rframes, idx, new_frame),
+            )
+        if present:
+            keep = (rpages[:idx], rpages[idx + 1 :])
+            return (
+                concatenate(keep),
+                concatenate((rframes[:idx], rframes[idx + 1 :])),
+            )
+        return snapshot
+
+    engine.batch_swaps = True
+    try:
+        while pos < total:
+            end = pos + sample if sample else total
+            if end > total:
+                end = total
+            i = pos
+            while i < end:
+                pg = page_col[i:end]
+                if remap_np is None:
+                    rpages, rframes = manager.remap_columns()
+                    remap_np = (
+                        asarray(rpages, dtype=int64),
+                        asarray(rframes, dtype=int64),
+                    )
+                rpages, rframes = remap_np
+                frames = pg
+                rhit = None
+                if len(rpages):
+                    ridx = searchsorted(rpages, pg)
+                    _np.minimum(ridx, len(rpages) - 1, out=ridx)
+                    rhit = rpages[ridx] == pg
+                    if rhit.any():
+                        frames = pg.copy()
+                        frames[rhit] = rframes[ridx[rhit]]
+                    else:
+                        rhit = None
+                # Challenger iff the *effective* frame lives in slow
+                # memory — the same test the scalar path's frame branch
+                # makes (location_get default = identity).
+                trigger = access_batch(seg_col[i:end], pg, frames >= fast_pages)
+                cut = end if trigger is None else i + trigger
+                if cut > i:
+                    # -- trigger-free slice [i, cut) --------------------
+                    m = cut - i
+                    arr = arr_col[i:cut]
+                    if offset:
+                        arr = arr + offset
+                    pslice = pg[:m]
+                    acct = None
+                    if blocked or expiry:
+                        if blocked:
+                            if blocked_np is None:
+                                bpages, buntils = manager.blocked_columns()
+                                blocked_np = (
+                                    asarray(bpages, dtype=int64),
+                                    asarray(buntils, dtype=int64),
+                                )
+                            bpages, buntils = blocked_np
+                            bidx = searchsorted(bpages, pslice)
+                            _np.minimum(bidx, len(bpages) - 1, out=bidx)
+                            bhit = bpages[bidx] == pslice
+                            if bhit.any():
+                                pen = buntils[bidx[bhit]] - arr[bhit]
+                                stalled = pen > 0
+                                hits = int(stalled.sum())
+                                if hits:
+                                    manager.blocked_hits += hits
+                                    acct = arr.copy()
+                                    acct[flatnonzero(bhit)[stalled]] -= pen[stalled]
+                        size = len(blocked)
+                        prune_blocked(arrivals[cut - 1] + offset)
+                        if len(blocked) != size:
+                            blocked_np = None
+                    if rhit is not None and rhit[:m].any():
+                        translated = (frames[:m] << page_shift) | (
+                            addr_col[i:cut] & page_mask
+                        )
+                        is_fast = translated < fast_bytes
+                        off = where(is_fast, translated, translated - fast_bytes)
+                        ci = where(
+                            is_fast,
+                            (off >> fm._bank_shift) & fm._chan_mask,
+                            fast_channels
+                            + ((off >> sm._bank_shift) & sm._chan_mask),
+                        )
+                        bk = where(
+                            is_fast,
+                            (off >> fm._row_shift) & fm._bank_mask,
+                            (off >> sm._row_shift) & sm._bank_mask,
+                        )
+                        rw = where(
+                            is_fast, off >> fm._chan_shift, off >> sm._chan_shift
+                        )
+                    else:
+                        ci = ctrl_col[i:cut]
+                        bk = bank_col[i:cut]
+                        rw = row_col[i:cut]
+                    order = argsort(ci, kind="stable")
+                    ci_s = ci[order]
+                    cuts = flatnonzero(ci_s[1:] != ci_s[:-1]) + 1
+                    bounds = [0, *cuts.tolist(), m]
+                    ci_l = ci_s.tolist()
+                    bk_l = bk[order].tolist()
+                    rw_l = rw[order].tolist()
+                    wr_l = write_col[i:cut][order].tolist()
+                    ar_l = arr[order].tolist()
+                    ac_l = None if acct is None else acct[order].tolist()
+                    for gi in range(len(bounds) - 1):
+                        lo = bounds[gi]
+                        hi = bounds[gi + 1]
+                        batch[ci_l[lo]](
+                            bk_l[lo:hi], rw_l[lo:hi], wr_l[lo:hi], ar_l[lo:hi],
+                            None if ac_l is None else ac_l[lo:hi], demand,
+                        )
+                    i = cut
+                if trigger is None:
+                    break
+                # -- the triggering record replays scalar ---------------
+                arrival = arrivals[i] + offset
+                page = pages[i]
+                segment = segments[i]
+                if blocked or expiry:
+                    bsize = len(blocked)
+                    penalty = block_penalty(page, arrival)
+                    if blocked_np is not None and len(blocked) != bsize:
+                        blocked_np = None
+                else:
+                    penalty = 0
+                frame = location_get(page)
+                if (frame if frame is not None else page) < fast_pages:
+                    access_resident(segment)
+                else:
+                    challenger = access_challenger(segment, page)
+                    if challenger is not None:
+                        # Capture the two pages the swap will remap
+                        # *before* it runs; a stale trigger (challenger
+                        # already resident) moves nothing.
+                        challenger_frame = location_get(challenger, challenger)
+                        if challenger_frame != segment:
+                            moved_a = resident_get(segment, segment)
+                            moved_b = resident_get(
+                                challenger_frame, challenger_frame
+                            )
+                        else:
+                            moved_a = moved_b = None
+                        penalty += migrate(segment, challenger, arrival)
+                        frame = location_get(page, page)
+                        if moved_a is not None:
+                            remap_np = patch_remap(remap_np, moved_a)
+                            remap_np = patch_remap(remap_np, moved_b)
+                            blocked_np = None
+                if frame is None:
+                    ci = plane_ctrl[i]
+                    bank = plane_bank[i]
+                    row = plane_row[i]
+                else:
+                    translated = (frame << page_shift) | (addresses[i] & page_mask)
+                    if translated < fast_bytes:
+                        ci, bank, row = fast_decode(translated)
+                    else:
+                        ci, bank, row = slow_decode(translated - fast_bytes)
+                        ci += fast_channels
+                enqueues[ci](bank, row, is_writes[i], arrival, demand, arrival - penalty)
+                i += 1
+            last_ps = arrivals[end - 1] + offset
+            if end - pos == sample:
+                backlog = peak_bus() - last_ps
+                if backlog > throttle_cap_ps:
+                    offset += backlog - throttle_cap_ps
+            pos = end
+        end_ps = manager.finish(last_ps)
+    finally:
+        engine.batch_swaps = False
+    return collect_result(manager, trace, end_ps)
+
+
+def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
+    """Per-record twin of the THM kernel (the no-numpy leg).
 
     Batches the DRAM side with per-controller column buffers flushed at
     chunk ends and before every inline migration (``_migrate`` issues
@@ -578,62 +1257,67 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
     offset = 0
     pos = 0
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
-    while pos < total:
-        end = pos + sample if sample else total
-        if end > total:
-            end = total
-        for arrival, is_write, address, page, segment, ci, bank, row in islice(
-            records, end - pos
-        ):
-            arrival += offset
-            if blocked or expiry:
-                penalty = block_penalty(page, arrival)
-            else:
-                penalty = 0
-            frame = location_get(page)
-            if frame is None:
-                # Identity mapping: the decode plane is exact, and a
-                # fast-resident page only defends its counter.
-                if page < fast_pages:
-                    access_resident(segment)
+    engine = manager.engine
+    engine.batch_swaps = True
+    try:
+        while pos < total:
+            end = pos + sample if sample else total
+            if end > total:
+                end = total
+            for arrival, is_write, address, page, segment, ci, bank, row in islice(
+                records, end - pos
+            ):
+                arrival += offset
+                if blocked or expiry:
+                    penalty = block_penalty(page, arrival)
                 else:
-                    challenger = access_challenger(segment, page)
-                    if challenger is not None:
-                        if buffers:
-                            flush_buffers()
-                        penalty += migrate(segment, challenger, arrival)
-                        frame = location_get(page, page)
-            else:
-                if frame < fast_pages:
-                    access_resident(segment)
+                    penalty = 0
+                frame = location_get(page)
+                if frame is None:
+                    # Identity mapping: the decode plane is exact, and a
+                    # fast-resident page only defends its counter.
+                    if page < fast_pages:
+                        access_resident(segment)
+                    else:
+                        challenger = access_challenger(segment, page)
+                        if challenger is not None:
+                            if buffers:
+                                flush_buffers()
+                            penalty += migrate(segment, challenger, arrival)
+                            frame = location_get(page, page)
                 else:
-                    challenger = access_challenger(segment, page)
-                    if challenger is not None:
-                        if buffers:
-                            flush_buffers()
-                        penalty += migrate(segment, challenger, arrival)
-                        frame = location_get(page, page)
-            if frame is not None:
-                translated = (frame << page_shift) | (address & page_mask)
-                if translated < fast_bytes:
-                    ci, bank, row = fast_decode(translated)
+                    if frame < fast_pages:
+                        access_resident(segment)
+                    else:
+                        challenger = access_challenger(segment, page)
+                        if challenger is not None:
+                            if buffers:
+                                flush_buffers()
+                            penalty += migrate(segment, challenger, arrival)
+                            frame = location_get(page, page)
+                if frame is not None:
+                    translated = (frame << page_shift) | (address & page_mask)
+                    if translated < fast_bytes:
+                        ci, bank, row = fast_decode(translated)
+                    else:
+                        ci, bank, row = slow_decode(translated - fast_bytes)
+                        ci += fast_channels
+                buffered = buffer_get(ci)
+                if buffered is None:
+                    buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
                 else:
-                    ci, bank, row = slow_decode(translated - fast_bytes)
-                    ci += fast_channels
-            buffered = buffer_get(ci)
-            if buffered is None:
-                buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
-            else:
-                buffered.append((bank, row, is_write, arrival, arrival - penalty))
-        if buffers:
-            flush_buffers()
-        last_ps = arrivals[end - 1] + offset
-        if end - pos == sample:
-            backlog = peak_bus() - last_ps
-            if backlog > throttle_cap_ps:
-                offset += backlog - throttle_cap_ps
-        pos = end
-    end_ps = manager.finish(last_ps)
+                    buffered.append((bank, row, is_write, arrival, arrival - penalty))
+            if buffers:
+                flush_buffers()
+            last_ps = arrivals[end - 1] + offset
+            if end - pos == sample:
+                backlog = peak_bus() - last_ps
+                if backlog > throttle_cap_ps:
+                    offset += backlog - throttle_cap_ps
+            pos = end
+        end_ps = manager.finish(last_ps)
+    finally:
+        engine.batch_swaps = False
     return collect_result(manager, trace, end_ps)
 
 

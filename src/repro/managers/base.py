@@ -115,6 +115,17 @@ class MemoryManager(ABC):
 
     # -- blocking ----------------------------------------------------------
 
+    def blocked_columns(self) -> Tuple[List[int], List[int]]:
+        """Sorted ``(pages, untils)`` snapshot of the block table.
+
+        The columnar replay kernels binary-search these columns to
+        vectorise :meth:`_block_penalty_ps` over an event-free slice;
+        the snapshot is only valid until the next swap issue or prune,
+        so kernels rebuild it after every boundary/swap event.
+        """
+        items = sorted(self._blocked.items())
+        return [page for page, _ in items], [until for _, until in items]
+
     def _block_page(self, page: int, until_ps: int) -> None:
         """Mark ``page`` unavailable until ``until_ps`` (swap in flight)."""
         current = self._blocked.get(page, 0)
@@ -250,6 +261,18 @@ class ComposedManager(MemoryManager):
         """Flip the remap entries for one copy; returns the two pages
         whose data is in flight.  Sharded tables override."""
         return self.remap.swap_frames(frame_a, frame_b)
+
+    def remap_columns(self) -> Tuple[List[int], List[int]]:
+        """Sorted ``(pages, frames)`` snapshot of the forward remap.
+
+        Like :meth:`MemoryManager.blocked_columns`, this feeds the
+        columnar kernels' vectorised translation pass; managers with a
+        sharded table (MemPod) override it with a merged view.  Only
+        remapped pages appear — absence means identity, exactly as the
+        sparse table's ``get(page) is None`` test does.
+        """
+        items = sorted(self.remap._forward.items())
+        return [page for page, _ in items], [frame for _, frame in items]
 
     def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
         """Apply one paced copy: remap, move data, block the copy window."""

@@ -22,6 +22,7 @@ records do not change afterwards.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Sequence, Tuple
 
 try:  # optional accelerator; every path below has a pure-Python twin
@@ -81,6 +82,41 @@ class PackedTrace:
             else:
                 cached = [address >> page_shift for address in self.addresses]
             self._pages[page_shift] = cached
+        return cached
+
+    def cut_at(self, arrival_ps: int, lo: int, hi: int) -> int:
+        """First record index in ``[lo, hi)`` whose arrival is at or
+        past ``arrival_ps`` (``hi`` when none is).
+
+        This is the interval-slicing primitive of the columnar replay
+        kernels: instead of a per-record ``arrival >= next_boundary``
+        check, one binary search over the (non-decreasing) arrival
+        column finds where the next boundary or due swap lands, and
+        everything before the cut replays as one event-free slice.
+        Identical to ``numpy.searchsorted(arrivals[lo:hi], arrival_ps,
+        "left")`` but works on the plain column, so the pure-Python leg
+        shares it.
+        """
+        return bisect_left(self.arrivals, arrival_ps, lo, hi)
+
+    def np_columns(self, key: tuple, columns: tuple) -> tuple:
+        """``columns`` as int64 numpy arrays, memoised under
+        ``("np", key)`` in :attr:`planes`.
+
+        The chunk-sliced kernels index decode planes with fancy masks
+        and vectorised arithmetic; converting the memoised list planes
+        once per (trace, layout) keeps that off the per-slice path.
+        Callers must only use this when numpy is available.
+        """
+        cached = self.planes.get(("np", key))
+        if cached is None:
+            cached = tuple(
+                column
+                if isinstance(column, _np.ndarray)
+                else _np.asarray(column, dtype=_np.int64)
+                for column in columns
+            )
+            self.planes[("np", key)] = cached
         return cached
 
     def chunk_groups(

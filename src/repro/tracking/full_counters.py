@@ -10,10 +10,18 @@ streaming or phase churn — is exactly what Figures 2 and 3 demonstrate.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from ..common.config import require_positive_int
 from .base import ActivityTracker
+
+try:  # optional accelerator; record_batch has a pure-Python twin
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+#: Below this many records the numpy set-up cost exceeds the loop.
+_BATCH_MIN = 32
 
 
 class FullCountersTracker(ActivityTracker):
@@ -40,6 +48,34 @@ class FullCountersTracker(ActivityTracker):
     def record(self, page: int) -> None:
         if self._counts[page] < self._max_count:
             self._counts[page] += 1
+
+    def record_batch(self, pages: Sequence[int]) -> None:
+        """Replay :meth:`record` over every page of ``pages``, in order.
+
+        Saturating increments commute, so the batch collapses to one
+        ``unique``/bincount pass: each touched page ends at
+        ``min(max, current + occurrences)`` — identical to the
+        per-record loop's final state.  The pure twin (used without
+        numpy or for short batches) tallies through a local
+        :class:`~collections.Counter` first for the same effect.
+        """
+        counts = self._counts
+        max_count = self._max_count
+        if _np is None or (
+            len(pages) < _BATCH_MIN and not isinstance(pages, _np.ndarray)
+        ):
+            for page, occurrences in Counter(pages).items():
+                current = counts[page]
+                if current < max_count:
+                    total = current + occurrences
+                    counts[page] = total if total < max_count else max_count
+            return
+        uniq, occ = _np.unique(_np.asarray(pages, dtype=_np.int64), return_counts=True)
+        for page, occurrences in zip(uniq.tolist(), occ.tolist()):
+            current = counts[page]
+            if current < max_count:
+                total = current + occurrences
+                counts[page] = total if total < max_count else max_count
 
     def hot_pages(self) -> List[int]:
         """All touched pages ranked by count (ties: lower page first)."""

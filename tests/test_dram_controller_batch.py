@@ -197,6 +197,97 @@ class TestEdgeCases:
         assert sink == {42}
 
 
+class TestEnqueueRun:
+    """enqueue_run must equal ``count`` identical enqueue calls — it is
+    the datapath swap traffic rides (32-64 identical transactions per
+    page side), warmed up per element until the window reaches steady
+    state and then closed-form streamed."""
+
+    def run_vs_loop(self, preamble, runs, timing=HBM_TIMING, window=8):
+        """``preamble`` seeds both controllers; each run is
+        ``(bank, row, is_write, arrival, count, kind)``."""
+        one = ChannelController(timing, BANKS, window=window)
+        many = ChannelController(timing, BANKS, window=window)
+        for bank, row, is_write, arrival in preamble:
+            one.enqueue(bank, row, is_write, arrival)
+            many.enqueue(bank, row, is_write, arrival)
+        for bank, row, is_write, arrival, count, kind in runs:
+            for _ in range(count):
+                one.enqueue(bank, row, is_write, arrival, kind)
+            many.enqueue_run(bank, row, is_write, arrival, count, kind)
+            assert snapshot(many) == snapshot(one)
+        assert one.flush() == many.flush()
+        assert snapshot(many) == snapshot(one)
+        return one
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 8, 32, 200])
+    def test_cold_run_lengths(self, count):
+        self.run_vs_loop([], [(2, 5, False, 1_000, count, MIGRATION)])
+
+    @pytest.mark.parametrize("timing", [HBM_TIMING, DDR4_1600_TIMING],
+                             ids=lambda t: t.name)
+    @pytest.mark.parametrize("window", [1, 2, 8])
+    def test_after_random_preamble(self, timing, window):
+        rng = DeterministicRng(31)
+        preamble = random_requests(31, 400)
+        at = preamble[-1][3]
+        runs = []
+        for i in range(40):
+            at += rng.randrange(3) * 40_000
+            runs.append((
+                rng.randrange(BANKS), rng.randrange(16),
+                bool(rng.random() < 0.5), at, 1 + rng.randrange(64),
+                MIGRATION if rng.random() < 0.7 else DEMAND,
+            ))
+        self.run_vs_loop(preamble, runs, timing=timing, window=window)
+
+    def test_swap_shape_read_then_write_phase(self):
+        # The exact shape swap_pages issues: a read run, then a write
+        # run one phase later, twice (both pods), chained swaps.
+        runs = []
+        at = 0
+        for _ in range(12):
+            runs.append((1, 3, False, at, 32, MIGRATION))
+            runs.append((1, 3, True, at + 170_000, 32, MIGRATION))
+            at += 340_000
+        self.run_vs_loop([], runs)
+
+    def test_run_crossing_refresh_boundary(self):
+        trefi = DDR4_1600_TIMING.trefi_ps
+        self.run_vs_loop(
+            [], [(0, 9, False, trefi - 3_000, 120, MIGRATION)],
+            timing=DDR4_1600_TIMING,
+        )
+
+    def test_zero_count_is_a_noop(self):
+        ctrl = ChannelController(HBM_TIMING, BANKS)
+        before = snapshot(ctrl)
+        ctrl.enqueue_run(0, 1, False, 500, 0)
+        assert snapshot(ctrl) == before
+
+    def test_demand_interleaved_between_runs(self):
+        rng = DeterministicRng(33)
+        one = ChannelController(HBM_TIMING, BANKS)
+        many = ChannelController(HBM_TIMING, BANKS)
+        at = 0
+        for _ in range(30):
+            at += rng.randrange(250_000)
+            bank, row = rng.randrange(BANKS), rng.randrange(12)
+            count = 1 + rng.randrange(48)
+            for _ in range(count):
+                one.enqueue(bank, row, True, at, MIGRATION)
+            many.enqueue_run(bank, row, True, at, count, MIGRATION)
+            for _ in range(rng.randrange(6)):
+                at += rng.randrange(9_000)
+                demand = (rng.randrange(BANKS), rng.randrange(12),
+                          bool(rng.random() < 0.4), at)
+                one.enqueue(*demand)
+                many.enqueue(*demand)
+        assert snapshot(many) == snapshot(one)
+        assert one.flush() == many.flush()
+        assert snapshot(many) == snapshot(one)
+
+
 class TestAgePromotion:
     """FR-FCFS starvation bound: an old conflicting request interrupts a
     row-hit stream once it has aged past STARVATION_PS."""

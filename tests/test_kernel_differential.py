@@ -126,11 +126,19 @@ class TestPurePythonTwins:
     def no_numpy(self, monkeypatch):
         import repro.kernel.replay
         import repro.trace.packed
+        import repro.tracking.competing
+        import repro.tracking.full_counters
+        import repro.tracking.mea
 
         monkeypatch.setattr(repro.trace.packed, "_np", None)
         monkeypatch.setattr(repro.kernel.replay, "_np", None)
+        # The tracker twins too: the no-numpy leg must cover
+        # record_batch/access_batch falling back to their scalar loops.
+        monkeypatch.setattr(repro.tracking.mea, "_np", None)
+        monkeypatch.setattr(repro.tracking.competing, "_np", None)
+        monkeypatch.setattr(repro.tracking.full_counters, "_np", None)
 
-    @pytest.mark.parametrize("kind", ["tlm", "mempod", "thm", "hbm-only"])
+    @pytest.mark.parametrize("kind", ["tlm", "mempod", "thm", "hma", "hbm-only"])
     def test_without_numpy(self, geometry, kind, no_numpy):
         assert_kernels_agree(_trace(geometry, "mix8", length=3_000), geometry, kind)
 
@@ -149,6 +157,38 @@ class TestEdgeTraces:
         # boundary loop and the paced-swap queue from the kernel side.
         records = [(i * 3_000_000, (i * 8192) % (1 << 22), i % 2, 0) for i in range(512)]
         trace = Trace(name="sparse", records=records)
+        for kind in ("mempod", "hma", "thm"):
+            assert_kernels_agree(trace, geometry, kind)
+
+    def test_boundaries_exactly_on_arrivals(self, geometry):
+        # Records landing exactly *at* interval boundaries pin the
+        # kernels' strict-vs-inclusive cut: the boundary fires before
+        # the record arriving at the same picosecond (the reference
+        # loop's _tick order).
+        interval = build_manager("mempod", geometry).interval_ps
+        records = []
+        for k in range(1, 40):
+            at = k * interval
+            records.append((at, (k * 8192) % (1 << 22), k % 2, 0))
+            records.append((at, (k * 4096) % (1 << 22), 0, 0))
+            records.append((at + 1, (k * 2048) % (1 << 22), 1, 0))
+        trace = Trace(name="on-boundary", records=records)
+        for kind in ("mempod", "hma"):
+            assert_kernels_agree(trace, geometry, kind)
+
+    def test_empty_interval_slices(self, geometry):
+        # Dense bursts separated by dozens of record-free intervals:
+        # the interval engine must run every boundary (tracker resets,
+        # paced swap drains) without any records in between, and equal
+        # arrivals inside a burst must not split chunks incorrectly.
+        interval = build_manager("mempod", geometry).interval_ps
+        records = []
+        for burst in range(6):
+            base = burst * 40 * interval
+            for i in range(64):
+                at = base + (i // 4)  # runs of 4 equal arrivals
+                records.append((at, ((burst * 64 + i) * 8192) % (1 << 22), i % 2, 0))
+        trace = Trace(name="bursty", records=records)
         for kind in ("mempod", "hma", "thm"):
             assert_kernels_agree(trace, geometry, kind)
 
