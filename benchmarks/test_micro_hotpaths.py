@@ -17,6 +17,7 @@ from repro.dram.controller import ChannelController
 from repro.geometry import scaled_geometry
 from repro.system.simulator import build_manager, simulate
 from repro.trace import build_trace, get_workload
+from repro.trace.record import Trace
 from repro.tracking.mea import MeaTracker
 
 
@@ -28,6 +29,33 @@ def geometry():
 @pytest.fixture(scope="module")
 def small_trace(geometry):
     return build_trace(get_workload("xalanc"), geometry, length=20_000, seed=11).trace
+
+
+@pytest.fixture(scope="module")
+def churn_trace(geometry):
+    """Migration-heavy synthetic cell: rotating slow-region hot sets.
+
+    Every 1,500 records the 32-page hot set is redrawn from the slow
+    region, so the migration mechanisms keep promoting pages that were
+    just demoted.  This drives the swap datapath and the contended
+    FR-FCFS backlog (swap bursts interleaved with demand) far harder
+    than the xalanc cell, which settles into a stable hot set.
+    """
+    rng = DeterministicRng(23)
+    first_slow = geometry.fast_pages
+    slow = geometry.slow_pages
+    lines = geometry.lines_per_page
+    hot = []
+    records = []
+    at = 0
+    for i in range(20_000):
+        if i % 1_500 == 0:
+            hot = [first_slow + rng.randrange(slow) for _ in range(32)]
+        page = hot[rng.randrange(32)]
+        addr = page * geometry.page_bytes + rng.randrange(lines) * 64
+        records.append((at, addr, 1 if rng.random() < 0.3 else 0, 0))
+        at += 30_000
+    return Trace.from_records("churn", records, geometry.page_bytes)
 
 
 def test_mea_record_throughput(benchmark):
@@ -114,6 +142,40 @@ def test_mempod_replay_reference_throughput(benchmark, geometry, small_trace):
 def test_single_level_replay_reference_throughput(benchmark, geometry, small_trace):
     benchmark.pedantic(
         lambda: simulate(small_trace, build_manager("hbm-only", geometry),
+                         kernel="reference"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_mempod_migration_churn_throughput(benchmark, geometry, churn_trace):
+    benchmark.pedantic(
+        lambda: simulate(churn_trace, build_manager("mempod", geometry)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_mempod_migration_churn_reference_throughput(benchmark, geometry, churn_trace):
+    benchmark.pedantic(
+        lambda: simulate(churn_trace, build_manager("mempod", geometry),
+                         kernel="reference"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_thm_migration_churn_throughput(benchmark, geometry, churn_trace):
+    benchmark.pedantic(
+        lambda: simulate(churn_trace, build_manager("thm", geometry)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_thm_migration_churn_reference_throughput(benchmark, geometry, churn_trace):
+    benchmark.pedantic(
+        lambda: simulate(churn_trace, build_manager("thm", geometry),
                          kernel="reference"),
         rounds=3,
         iterations=1,

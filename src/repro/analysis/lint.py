@@ -110,8 +110,11 @@ KERNEL_FINGERPRINT_FUNCTIONS: Tuple[str, ...] = (
     "repro/dram/controller.py::ChannelController._choose",
     "repro/dram/controller.py::ChannelController._service_at",
     "repro/dram/bank.py::Bank.access",
-    # the migration datapath's batched transaction pattern
+    # the migration datapath's batched transaction pattern, and the
+    # kernels' swap sinks that merge it into buffered demand columns
     "repro/core/datapath.py::MigrationEngine.swap_pages",
+    "repro/kernel/replay.py::_swap_merged_buffers",
+    "repro/kernel/replay.py::_swap_merged_rows",
     # tracker batch twins the columnar kernels drive (bit-identical to
     # the per-record loops by the tracker differential suite)
     "repro/tracking/mea.py::MeaTracker.record",

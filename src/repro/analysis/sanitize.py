@@ -457,6 +457,29 @@ class SimulationSanitizer:
                     f"served {stats.served}",
                     cycle_ps=cycle_ps,
                 )
+            # The batched-path service counters are observability only,
+            # but they must still be conserved: every counted service
+            # corresponds to one really-served transaction, and no
+            # engine can report a negative count.
+            paths = ctrl.service_paths
+            if (
+                paths.closed_form_served < 0
+                or paths.indexed_served < 0
+                or paths.scalar_fallback_served < 0
+            ):
+                self._fail(
+                    "stats-conservation",
+                    f"channel {label} has a negative service-path counter "
+                    f"({paths})",
+                    cycle_ps=cycle_ps,
+                )
+            if paths.batched_served > stats.served:
+                self._fail(
+                    "stats-conservation",
+                    f"channel {label} batched-path services "
+                    f"{paths.batched_served} exceed served {stats.served}",
+                    cycle_ps=cycle_ps,
+                )
 
 
 def sanitized_simulate(trace, manager, throttle_cap_ps: Optional[int] = None):

@@ -270,7 +270,8 @@ def _cmd_profile_replay(
             reference = reference_simulate(trace, build())
             reference_seconds = time.perf_counter() - start
             start = time.perf_counter()
-            fast = simulate(trace, build(), kernel="fast")
+            fast_manager = build()
+            fast = simulate(trace, fast_manager, kernel="fast")
             fast_seconds = time.perf_counter() - start
             equal = asdict(reference) == asdict(fast)
             lines.append(
@@ -278,6 +279,16 @@ def _cmd_profile_replay(
                 f"{records / fast_seconds:>12,.0f} "
                 f"{reference_seconds / fast_seconds:>7.2f}x "
                 f"{'identical' if equal else 'DIVERGED':>9}"
+            )
+            # How contended was this cell: which service engine the
+            # batched path actually used (fast-path services are the
+            # uncounted remainder of stats.served).
+            paths = fast_manager.memory.merged_service_paths()
+            lines.append(
+                f"             batched services: "
+                f"closed-form {paths.closed_form_served:,}, "
+                f"indexed {paths.indexed_served:,}, "
+                f"scalar-fallback {paths.scalar_fallback_served:,}"
             )
             if profiled is None:
                 profiled = (trace, build)

@@ -79,6 +79,21 @@ class MigrationEngine:
         #: (restored in their ``finally``); the reference loop keeps the
         #: per-transaction path as the semantic spec.
         self.batch_swaps = False
+        #: When set, :meth:`swap_pages` hands its transaction pattern to
+        #: this callable instead of the controllers::
+        #:
+        #:     sink(ctrl_a, bank_a, row_a, ctrl_b, bank_b, row_b,
+        #:          at_ps, write_ps, lines)
+        #:
+        #: The columnar replay kernels install one that *merges* the
+        #: swap's per-controller runs into their buffered demand columns
+        #: (see ``repro.kernel.replay._swap_merged_buffers``), so a due
+        #: swap no longer forces the buffered demand out of the batched
+        #: path.  The sink owner is responsible for replaying the
+        #: pattern in reference per-controller enqueue order; kernels
+        #: uninstall it around any code that services controllers
+        #: directly (interval boundaries, ``finish``).
+        self.swap_sink = None
         lines = geometry.lines_per_page
         self._page_phase_ps = max(
             self._phase_cost(memory.fast.timing, lines),
@@ -136,7 +151,12 @@ class MigrationEngine:
         ctrl_a, bank_a, row_a = self._locate(frame_a * page_bytes)
         ctrl_b, bank_b, row_b = self._locate(frame_b * page_bytes)
         write_ps = at_ps + self._page_phase_ps
-        if self.batch_swaps:
+        if self.swap_sink is not None:
+            self.swap_sink(
+                ctrl_a, bank_a, row_a, ctrl_b, bank_b, row_b,
+                at_ps, write_ps, lines,
+            )
+        elif self.batch_swaps:
             if ctrl_a is ctrl_b:
                 # One shared controller sees the interleaved a/b pattern
                 # as a single column: 2*lines reads, then 2*lines writes.

@@ -24,7 +24,7 @@ from typing import List, Optional
 from ..common.config import require_positive_int
 from ..common.units import ghz, gib, mhz
 from .address import AddressMapper
-from .controller import ChannelController, ControllerStats
+from .controller import ChannelController, ControllerStats, ServicePathStats
 from .request import DEMAND
 from .timing import DramTiming
 
@@ -130,6 +130,13 @@ class MemoryDevice:
         merged = ControllerStats()
         for ctrl in self.controllers:
             merged.merge(ctrl.stats)
+        return merged
+
+    def merged_service_paths(self) -> ServicePathStats:
+        """Sum batched-path service counters across channels."""
+        merged = ServicePathStats()
+        for ctrl in self.controllers:
+            merged.merge(ctrl.service_paths)
         return merged
 
     def row_buffer_hit_rate(self) -> float:

@@ -65,7 +65,7 @@ from __future__ import annotations
 from itertools import islice
 
 from ..core.mempod import MemPodManager
-from ..dram.request import DEMAND
+from ..dram.request import DEMAND, MIGRATION
 from ..managers.cameo import LINE_BYTES, CameoManager
 from ..managers.hma import HmaManager
 from ..managers.static import NoMigrationManager, SingleLevelManager
@@ -338,6 +338,132 @@ def _replay_direct(
     return collect_result(manager, trace, end_ps)
 
 
+def _swap_merged_buffers(ctrls, batch):
+    """Per-controller column buffers with the swap datapath merged in.
+
+    Returns ``((bk, rw, wr, ar, ac, kd), flush_ctrl, flush_all, sink)``.
+    The first five column lists accumulate deferred demand per
+    controller; ``kd`` — the per-element request-kind column — is lazy:
+    ``None`` while a controller's buffer holds pure demand, materialised
+    the first time ``sink`` merges swap traffic into that buffer (from
+    then on the owning kernel mirrors its demand appends into it).
+    ``flush_ctrl(c)`` / ``flush_all()`` hand the columns to
+    ``enqueue_batch`` and reset them.
+
+    ``sink`` has the ``MigrationEngine.swap_sink`` signature: it merges
+    one swap's per-controller transaction pattern — exactly the pattern
+    ``swap_pages`` would have enqueued — into the buffers instead of
+    enqueuing it.  A distinct-controller side (``lines`` same-bank
+    same-row reads, then ``lines`` writes — the overwhelmingly common
+    shape) *closes* the controller's open buffer segment (a list swap,
+    no copying) and queues a run item behind it, so ``flush_ctrl``
+    replays the controller as whole ``enqueue_batch`` segments
+    alternating with closed-form ``enqueue_run`` calls.  This keeps the
+    page copies off the per-element path entirely: expanding them into
+    the columns costs list extends plus the engine's run re-detection,
+    and slicing one big column back apart at flush time costs segment
+    copies — both measured slower (see EXPERIMENTS.md).  Only
+    same-controller swaps, whose two banks interleave per line, expand
+    per element (and materialise the lazy ``kd`` column).
+
+    Exact because kernels only issue swaps due at or before the current
+    cut, and every already-buffered element arrived strictly before
+    that cut, so the merged emission order *is* the reference
+    per-controller enqueue order — a due swap no longer ejects the
+    buffered demand from the batched path, and the backlog it creates
+    lands in the controller's closed-form episode engine.
+    """
+    demand = DEMAND
+    migration = MIGRATION
+    nctrl = len(ctrls)
+    buf_bk = [[] for _ in range(nctrl)]
+    buf_rw = [[] for _ in range(nctrl)]
+    buf_wr = [[] for _ in range(nctrl)]
+    buf_ar = [[] for _ in range(nctrl)]
+    buf_ac = [[] for _ in range(nctrl)]
+    buf_kd = [None] * nctrl
+    # Closed emission items per controller: a 6-tuple is a finished
+    # column segment, a 5-tuple a (bank, row, is_write, arrival, count)
+    # page-copy run.
+    segs = [[] for _ in range(nctrl)]
+    run_fn = [ctrl.enqueue_run for ctrl in ctrls]
+    ctrl_index = {id(ctrl): ci for ci, ctrl in enumerate(ctrls)}
+
+    def flush_ctrl(c):
+        sg = segs[c]
+        if sg:
+            enq_batch = batch[c]
+            enq_run = run_fn[c]
+            for item in sg:
+                if len(item) == 6:
+                    enq_batch(
+                        item[0], item[1], item[2], item[3], item[4],
+                        demand, item[5],
+                    )
+                else:
+                    enq_run(item[0], item[1], item[2], item[3], item[4],
+                            migration)
+            segs[c] = []
+        bk = buf_bk[c]
+        if not bk:
+            return
+        batch[c](
+            bk, buf_rw[c], buf_wr[c], buf_ar[c], buf_ac[c], demand, buf_kd[c]
+        )
+        buf_bk[c] = []
+        buf_rw[c] = []
+        buf_wr[c] = []
+        buf_ar[c] = []
+        buf_ac[c] = []
+        buf_kd[c] = None
+
+    def flush_all():
+        for c in range(nctrl):
+            if segs[c] or buf_bk[c]:
+                flush_ctrl(c)
+
+    def merge_side(c, bank, row, at_ps, write_ps, lines):
+        bk = buf_bk[c]
+        sg = segs[c]
+        if bk:
+            sg.append((bk, buf_rw[c], buf_wr[c], buf_ar[c], buf_ac[c],
+                       buf_kd[c]))
+            buf_bk[c] = []
+            buf_rw[c] = []
+            buf_wr[c] = []
+            buf_ar[c] = []
+            buf_ac[c] = []
+            buf_kd[c] = None
+        sg.append((bank, row, False, at_ps, lines))
+        sg.append((bank, row, True, write_ps, lines))
+
+    def sink(ctrl_a, bank_a, row_a, ctrl_b, bank_b, row_b, at_ps, write_ps, lines):
+        ca = ctrl_index[id(ctrl_a)]
+        cb = ctrl_index[id(ctrl_b)]
+        if ca == cb:
+            # One shared controller sees the interleaved a/b pattern:
+            # 2*lines reads, then 2*lines writes (cf. swap_pages).
+            kd = buf_kd[ca]
+            if kd is None:
+                buf_kd[ca] = kd = [demand] * len(buf_bk[ca])
+            pair_bk = [bank_a, bank_b] * lines
+            pair_rw = [row_a, row_b] * lines
+            buf_bk[ca].extend(pair_bk + pair_bk)
+            buf_rw[ca].extend(pair_rw + pair_rw)
+            buf_wr[ca].extend([False] * (2 * lines) + [True] * (2 * lines))
+            buf_ar[ca].extend([at_ps] * (2 * lines) + [write_ps] * (2 * lines))
+            buf_ac[ca].extend([at_ps] * (2 * lines) + [write_ps] * (2 * lines))
+            kd.extend([migration] * (4 * lines))
+        else:
+            # Distinct controllers share no state: each side's
+            # subsequence (lines reads, then lines writes) is the
+            # reference per-controller order of the interleaved loop.
+            merge_side(ca, bank_a, row_a, at_ps, write_ps, lines)
+            merge_side(cb, bank_b, row_b, at_ps, write_ps, lines)
+
+    return (buf_bk, buf_rw, buf_wr, buf_ar, buf_ac, buf_kd), flush_ctrl, flush_all, sink
+
+
 def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_trackers):
     """Columnar engine shared by the boundary-triggered kernels.
 
@@ -363,9 +489,11 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
       per-controller column buffers that live across slices and flush
       through one ``enqueue_batch`` call per controller — exact because
       controllers share no state and per-controller order is preserved;
-      a due swap flushes only the two controllers its frames decode to,
-      a boundary (whose plans may touch any controller) and the
-      chunk-end throttle probe flush everything;
+      a due swap *merges* its migration runs into the buffered demand
+      columns through the engine's swap sink (see
+      :func:`_swap_merged_buffers`) instead of flushing them, so only a
+      boundary (whose plans may touch any controller and may stall the
+      machine) and the chunk-end throttle probe flush everything;
     * tracker updates deferred and flushed in one ``record_batch`` call
       right before each boundary runs (trackers are only *read* at
       boundaries and never touch the controllers, so deferral commutes);
@@ -425,41 +553,12 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
     argsort = _np.argsort
 
     # Per-controller column buffers.  Demand accumulates here across
-    # slices and flushes through one enqueue_batch per controller;
-    # per-controller order — the only order that matters, controllers
-    # share no state — is preserved.
-    nctrl = len(ctrls)
-    buf_bk = [[] for _ in range(nctrl)]
-    buf_rw = [[] for _ in range(nctrl)]
-    buf_wr = [[] for _ in range(nctrl)]
-    buf_ar = [[] for _ in range(nctrl)]
-    buf_ac = [[] for _ in range(nctrl)]
-
-    def flush_ctrl(c):
-        bk = buf_bk[c]
-        if bk:
-            batch[c](bk, buf_rw[c], buf_wr[c], buf_ar[c], buf_ac[c], demand)
-            buf_bk[c] = []
-            buf_rw[c] = []
-            buf_wr[c] = []
-            buf_ar[c] = []
-            buf_ac[c] = []
-
-    def flush_all():
-        for c in range(nctrl):
-            if buf_bk[c]:
-                flush_ctrl(c)
-
-    page_bytes = memory.geometry.page_bytes
-
-    def frame_ctrl(frame):
-        # Controller a swap frame's traffic lands on (engine._locate's
-        # channel component, without the bank/row decode).
-        address = frame * page_bytes
-        if address < fast_bytes:
-            return (address >> fm._bank_shift) & fm._chan_mask
-        address -= fast_bytes
-        return fast_channels + ((address >> sm._bank_shift) & sm._chan_mask)
+    # slices — and due swaps merge their traffic in through the
+    # engine's swap sink — flushing through one enqueue_batch per
+    # controller; per-controller order — the only order that matters,
+    # controllers share no state — is preserved.
+    bufs, flush_ctrl, flush_all, swap_sink = _swap_merged_buffers(ctrls, batch)
+    buf_bk, buf_rw, buf_wr, buf_ar, buf_ac, buf_kd = bufs
 
     total = packed.length
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
@@ -471,6 +570,7 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
     i = 0
     flushed = 0  # records whose tracker updates have been applied
     engine.batch_swaps = True
+    engine.swap_sink = swap_sink
     try:
         while pos < total:
             end = pos + sample if sample else total
@@ -518,6 +618,9 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
                         buf_wr[ck].append(is_writes[k])
                         buf_ar[ck].append(arrival)
                         buf_ac[ck].append(arrival - penalty)
+                        kd = buf_kd[ck]
+                        if kd is not None:
+                            kd.append(demand)
                     if checked >= 0 and len(blocked) != checked:
                         blocked_np = None
                     i = cut
@@ -604,6 +707,9 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
                         buf_wr[c].extend(wr_l[lo:hi])
                         buf_ar[c].extend(ar_l[lo:hi])
                         buf_ac[c].extend(ac_l[lo:hi])
+                        kd = buf_kd[c]
+                        if kd is not None:
+                            kd.extend([demand] * (hi - lo))
                     i = cut
                 if i >= end:
                     break
@@ -612,21 +718,29 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
                 if arrival >= next_boundary:
                     flush_trackers(flushed, i)
                     flushed = i
-                    # Boundary plans may issue swaps to any controller.
+                    # Boundary plans may issue swaps to any controller
+                    # and may stall the whole machine (block_until
+                    # services controller state directly), so deferred
+                    # demand lands first and the sink comes off — swap
+                    # traffic a boundary issues goes straight down the
+                    # batched datapath against the now-empty buffers,
+                    # which is the reference order exactly.
                     flush_all()
+                    engine.swap_sink = None
                     while arrival >= next_boundary:
                         run_boundary(next_boundary)
                         next_boundary += interval
+                    engine.swap_sink = swap_sink
                     remap_np = None
                     blocked_np = None
                 if queue and queue[0][0] <= arrival:
-                    # A due swap's migration traffic touches exactly the
-                    # two controllers its frames decode to — deferred
-                    # demand for those must be enqueued first.
-                    for due in queue:
-                        if due[0] <= arrival:
-                            flush_ctrl(frame_ctrl(due[2]))
-                            flush_ctrl(frame_ctrl(due[3]))
+                    # Due swaps merge into the buffered demand columns
+                    # through the swap sink: every buffered element
+                    # arrived strictly before the cut, and the cut is at
+                    # or before every due issue time, so appending each
+                    # swap's runs preserves the per-controller reference
+                    # enqueue order — a swap no longer ejects a chunk's
+                    # deferred demand from the batched path.
                     issue_swaps(arrival)
                     remap_np = None
                     blocked_np = None
@@ -640,14 +754,63 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
         flush_trackers(flushed, total)
         flushed = i = total
         manager._next_boundary_ps = next_boundary
+        # finish() issues the still-scheduled swaps and drains the
+        # devices — controller-direct work, so the sink comes off first
+        # (the buffers are empty: every chunk ends in flush_all()).
+        engine.swap_sink = None
         end_ps = manager.finish(last_ps)
     finally:
         engine.batch_swaps = False
+        engine.swap_sink = None
         manager._next_boundary_ps = next_boundary
         if flushed < i:
             flush_trackers(flushed, i)
             flushed = i
     return collect_result(manager, trace, end_ps)
+
+
+def _swap_merged_rows(ctrls, buffers):
+    """Tuple-row twin of :func:`_swap_merged_buffers` for the pure
+    kernels: a ``MigrationEngine.swap_sink`` that merges one swap's
+    per-controller transaction pattern into the dict-of-rows buffers
+    (``(bank, row, is_write, arrival, account, kind)`` per row) the
+    per-record twins accumulate demand in.  The same exactness argument
+    applies: swaps are only issued once due at or before the current
+    record's arrival, and every buffered row arrived strictly before
+    that, so appending *is* the reference per-controller enqueue order.
+    """
+    ctrl_index = {id(ctrl): ci for ci, ctrl in enumerate(ctrls)}
+    migration = MIGRATION
+
+    def sink(ctrl_a, bank_a, row_a, ctrl_b, bank_b, row_b, at_ps, write_ps, lines):
+        ca = ctrl_index[id(ctrl_a)]
+        cb = ctrl_index[id(ctrl_b)]
+        if ca == cb:
+            # Interleaved a/b pattern on the one shared controller:
+            # 2*lines reads, then 2*lines writes (cf. swap_pages).
+            buffered = buffers.get(ca)
+            if buffered is None:
+                buffers[ca] = buffered = []
+            append = buffered.append
+            for _ in range(lines):
+                append((bank_a, row_a, False, at_ps, at_ps, migration))
+                append((bank_b, row_b, False, at_ps, at_ps, migration))
+            for _ in range(lines):
+                append((bank_a, row_a, True, write_ps, write_ps, migration))
+                append((bank_b, row_b, True, write_ps, write_ps, migration))
+        else:
+            for ci, bank, row in ((ca, bank_a, row_a), (cb, bank_b, row_b)):
+                buffered = buffers.get(ci)
+                if buffered is None:
+                    buffers[ci] = buffered = []
+                buffered.extend(
+                    [(bank, row, False, at_ps, at_ps, migration)] * lines
+                )
+                buffered.extend(
+                    [(bank, row, True, write_ps, write_ps, migration)] * lines
+                )
+
+    return sink
 
 
 def _replay_mempod(trace, packed, manager, throttle_cap_ps):
@@ -699,8 +862,9 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
     each record's decoded transaction is appended to a per-controller
     column buffer, flushed through ``enqueue_batch`` at every chunk end
     and — to preserve the reference's per-controller enqueue order —
-    right before any controller-touching event (interval boundary, due
-    swap).  Remapped frames decode inline through the mappers instead
+    right before an interval boundary.  A due swap no longer flushes:
+    its transaction pattern *merges* into the buffered columns through
+    the engine's swap sink.  Remapped frames decode inline through the mappers instead
     of ``memory.access``: remap tables only ever hold in-range frames,
     so the routing is identical and the bounds check is vacuous.
     """
@@ -733,8 +897,12 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
 
     def flush_buffers():
         for bi, buffered in buffers.items():
-            bank_col, row_col, write_col, arrival_col, account_col = zip(*buffered)
-            batch[bi](bank_col, row_col, write_col, arrival_col, account_col, demand)
+            (bank_col, row_col, write_col, arrival_col, account_col,
+             kind_col) = zip(*buffered)
+            batch[bi](
+                bank_col, row_col, write_col, arrival_col, account_col,
+                demand, kind_col,
+            )
         buffers.clear()
 
     arrivals = packed.arrivals
@@ -749,6 +917,8 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
     engine = manager.engine
     engine.batch_swaps = True
+    swap_sink = _swap_merged_rows(ctrls, buffers)
+    engine.swap_sink = swap_sink
     try:
         while pos < total:
             end = pos + sample if sample else total
@@ -758,16 +928,24 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
                 records, end - pos
             ):
                 arrival += offset
-                if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
-                    # Deferred demand must reach the controllers before
-                    # the boundary's or swap's migration traffic does.
+                if arrival >= next_boundary:
+                    # Boundaries service controllers directly (and may
+                    # issue their own swaps), so deferred demand must
+                    # reach the controllers first and the sink must not
+                    # capture the boundary's migration traffic.
                     if buffers:
                         flush_buffers()
+                    engine.swap_sink = None
                     while arrival >= next_boundary:
                         run_boundary(next_boundary)
                         next_boundary += interval
-                    if queue and queue[0][0] <= arrival:
-                        issue_swaps(arrival)
+                    engine.swap_sink = swap_sink
+                if queue and queue[0][0] <= arrival:
+                    # Due swaps merge into the buffered columns through
+                    # the sink; per-controller enqueue order is the
+                    # reference's because every buffered demand arrival
+                    # precedes the swap's issue time.
+                    issue_swaps(arrival)
                 observe[pod_id](page)
                 if blocked or expiry:
                     penalty = block_penalty(page, arrival)
@@ -783,9 +961,13 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
                         ci += fast_channels
                 buffered = buffer_get(ci)
                 if buffered is None:
-                    buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
+                    buffers[ci] = [
+                        (bank, row, is_write, arrival, arrival - penalty, demand)
+                    ]
                 else:
-                    buffered.append((bank, row, is_write, arrival, arrival - penalty))
+                    buffered.append(
+                        (bank, row, is_write, arrival, arrival - penalty, demand)
+                    )
             if buffers:
                 flush_buffers()
             last_ps = arrivals[end - 1] + offset
@@ -794,11 +976,16 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
                 if backlog > throttle_cap_ps:
                     offset += backlog - throttle_cap_ps
             pos = end
+        # Buffers are empty here (every chunk ends in a flush), so
+        # finish() — which issues the still-queued swaps directly and
+        # flushes the memory — runs against reference-order controllers.
+        engine.swap_sink = None
         end_ps = manager.finish(last_ps)
     finally:
         # State write-back must survive a mid-chunk exception: a stale
         # boundary cursor would double-run boundaries on the next replay.
         engine.batch_swaps = False
+        engine.swap_sink = None
         manager._next_boundary_ps = next_boundary
     return collect_result(manager, trace, end_ps)
 
@@ -832,9 +1019,10 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
     """Per-record twin of the HMA kernel (the no-numpy leg).
 
     Batches the DRAM side exactly like :func:`_replay_mempod_pure`:
-    per-controller column buffers flushed at chunk ends and before any
-    epoch or due-swap work (``_run_boundary`` may ``block_until`` the
-    whole machine in stall mode, so deferred demand must land first).
+    per-controller column buffers flushed at chunk ends and before
+    epoch work (``_run_boundary`` may ``block_until`` the whole machine
+    in stall mode, so deferred demand must land first); paced due swaps
+    merge into the buffered columns through the engine's swap sink.
     """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
@@ -864,8 +1052,12 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
 
     def flush_buffers():
         for bi, buffered in buffers.items():
-            bank_col, row_col, write_col, arrival_col, account_col = zip(*buffered)
-            batch[bi](bank_col, row_col, write_col, arrival_col, account_col, demand)
+            (bank_col, row_col, write_col, arrival_col, account_col,
+             kind_col) = zip(*buffered)
+            batch[bi](
+                bank_col, row_col, write_col, arrival_col, account_col,
+                demand, kind_col,
+            )
         buffers.clear()
 
     arrivals = packed.arrivals
@@ -880,6 +1072,8 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
     engine = manager.engine
     engine.batch_swaps = True
+    swap_sink = _swap_merged_rows(ctrls, buffers)
+    engine.swap_sink = swap_sink
     try:
         while pos < total:
             end = pos + sample if sample else total
@@ -889,14 +1083,22 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
                 records, end - pos
             ):
                 arrival += offset
-                if arrival >= next_boundary or (queue and queue[0][0] <= arrival):
+                if arrival >= next_boundary:
+                    # Epochs may block_until the whole machine in stall
+                    # mode, so deferred demand lands first and the sink
+                    # stays out of the epoch's own swap issues.
                     if buffers:
                         flush_buffers()
+                    engine.swap_sink = None
                     while arrival >= next_boundary:
                         run_epoch(next_boundary)
                         next_boundary += interval
-                    if queue and queue[0][0] <= arrival:
-                        issue_swaps(arrival)
+                    engine.swap_sink = swap_sink
+                if queue and queue[0][0] <= arrival:
+                    # Paced due swaps merge into the buffered columns
+                    # through the sink (reference per-controller order:
+                    # buffered demand arrivals precede the issue time).
+                    issue_swaps(arrival)
                 record(page)
                 if blocked or expiry:
                     penalty = block_penalty(page, arrival)
@@ -912,9 +1114,13 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
                         ci += fast_channels
                 buffered = buffer_get(ci)
                 if buffered is None:
-                    buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
+                    buffers[ci] = [
+                        (bank, row, is_write, arrival, arrival - penalty, demand)
+                    ]
                 else:
-                    buffered.append((bank, row, is_write, arrival, arrival - penalty))
+                    buffered.append(
+                        (bank, row, is_write, arrival, arrival - penalty, demand)
+                    )
             if buffers:
                 flush_buffers()
             last_ps = arrivals[end - 1] + offset
@@ -923,10 +1129,13 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
                 if backlog > throttle_cap_ps:
                     offset += backlog - throttle_cap_ps
             pos = end
+        # Buffers are empty at chunk boundaries; finish() runs direct.
+        engine.swap_sink = None
         end_ps = manager.finish(last_ps)
     finally:
         # Same mid-chunk exception guarantee as the MemPod twin.
         engine.batch_swaps = False
+        engine.swap_sink = None
         manager._next_boundary_ps = next_boundary
     return collect_result(manager, trace, end_ps)
 
@@ -941,18 +1150,25 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
     crossing lands.  So each throttle chunk replays as: translate the
     chunk densely (one binary search against the remap snapshot),
     classify every record as challenger or defender from its effective
-    frame, let ``access_batch`` find the first trigger, process the
-    trigger-free prefix columnar (penalties, translation, per-controller
-    ``enqueue_batch``), then replay the triggering record itself through
-    the exact scalar path — which performs the migration — and repeat
-    from the next record with fresh snapshots.
+    frame, let ``access_batch`` find the first trigger, accumulate the
+    trigger-free prefix into per-controller column buffers (penalties,
+    translation), then replay the triggering record itself through the
+    exact scalar path — its migration's swap traffic merges into the
+    buffered columns through the engine's swap sink, and the trigger's
+    own transaction is buffered right behind it — and repeat from the
+    next record with fresh snapshots.  The buffers flush through one
+    ``enqueue_batch`` call per controller at each chunk end (before the
+    throttle probe reads the bus cursors), so the migration backlog
+    lands in the batched path's episode engine instead of a scalar
+    drain.
     """
     if _np is None or packed.np_addresses() is None:
         return _replay_thm_pure(trace, packed, manager, throttle_cap_ps)
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
     batch = [ctrl.enqueue_batch for ctrl in ctrls]
-    enqueues = [ctrl.enqueue for ctrl in ctrls]
+    bufs, flush_ctrl, flush_all, swap_sink = _swap_merged_buffers(ctrls, batch)
+    buf_bk, buf_rw, buf_wr, buf_ar, buf_ac, buf_kd = bufs
     peak_bus = memory.peak_bus_free_ps
     plane = _hybrid_plane(packed, memory)
     plane_ctrl, plane_bank, plane_row = plane
@@ -1042,6 +1258,7 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
         return snapshot
 
     engine.batch_swaps = True
+    engine.swap_sink = swap_sink
     try:
         while pos < total:
             end = pos + sample if sample else total
@@ -1142,10 +1359,17 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                     for gi in range(len(bounds) - 1):
                         lo = bounds[gi]
                         hi = bounds[gi + 1]
-                        batch[ci_l[lo]](
-                            bk_l[lo:hi], rw_l[lo:hi], wr_l[lo:hi], ar_l[lo:hi],
-                            None if ac_l is None else ac_l[lo:hi], demand,
+                        c = ci_l[lo]
+                        buf_bk[c].extend(bk_l[lo:hi])
+                        buf_rw[c].extend(rw_l[lo:hi])
+                        buf_wr[c].extend(wr_l[lo:hi])
+                        buf_ar[c].extend(ar_l[lo:hi])
+                        buf_ac[c].extend(
+                            ar_l[lo:hi] if ac_l is None else ac_l[lo:hi]
                         )
+                        kd = buf_kd[c]
+                        if kd is not None:
+                            kd.extend([demand] * (hi - lo))
                     i = cut
                 if trigger is None:
                     break
@@ -1194,17 +1418,33 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                     else:
                         ci, bank, row = slow_decode(translated - fast_bytes)
                         ci += fast_channels
-                enqueues[ci](bank, row, is_writes[i], arrival, demand, arrival - penalty)
+                # The trigger record lands in the buffer *after* any
+                # swap traffic its migration merged through the sink —
+                # exactly the reference's per-controller enqueue order.
+                buf_bk[ci].append(bank)
+                buf_rw[ci].append(row)
+                buf_wr[ci].append(is_writes[i])
+                buf_ar[ci].append(arrival)
+                buf_ac[ci].append(arrival - penalty)
+                kd = buf_kd[ci]
+                if kd is not None:
+                    kd.append(demand)
                 i += 1
+            # The throttle probe reads controller bus cursors, so the
+            # deferred columns must land first.
+            flush_all()
             last_ps = arrivals[end - 1] + offset
             if end - pos == sample:
                 backlog = peak_bus() - last_ps
                 if backlog > throttle_cap_ps:
                     offset += backlog - throttle_cap_ps
             pos = end
+        # Buffers are empty at chunk boundaries; finish() runs direct.
+        engine.swap_sink = None
         end_ps = manager.finish(last_ps)
     finally:
         engine.batch_swaps = False
+        engine.swap_sink = None
     return collect_result(manager, trace, end_ps)
 
 
@@ -1212,9 +1452,11 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
     """Per-record twin of the THM kernel (the no-numpy leg).
 
     Batches the DRAM side with per-controller column buffers flushed at
-    chunk ends and before every inline migration (``_migrate`` issues
-    swap traffic and drains the victim's channel, so deferred demand
-    must already be enqueued).
+    chunk ends; an inline migration's swap traffic *merges* into the
+    buffered columns through the engine's swap sink instead of forcing
+    a flush (``_migrate`` never reads controller state, and buffered
+    demand arrivals precede the swap's issue time, so the flushed
+    column replays the reference per-controller enqueue order).
     """
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
@@ -1243,8 +1485,12 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
 
     def flush_buffers():
         for bi, buffered in buffers.items():
-            bank_col, row_col, write_col, arrival_col, account_col = zip(*buffered)
-            batch[bi](bank_col, row_col, write_col, arrival_col, account_col, demand)
+            (bank_col, row_col, write_col, arrival_col, account_col,
+             kind_col) = zip(*buffered)
+            batch[bi](
+                bank_col, row_col, write_col, arrival_col, account_col,
+                demand, kind_col,
+            )
         buffers.clear()
 
     arrivals = packed.arrivals
@@ -1259,6 +1505,8 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
     engine = manager.engine
     engine.batch_swaps = True
+    swap_sink = _swap_merged_rows(ctrls, buffers)
+    engine.swap_sink = swap_sink
     try:
         while pos < total:
             end = pos + sample if sample else total
@@ -1281,8 +1529,10 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
                     else:
                         challenger = access_challenger(segment, page)
                         if challenger is not None:
-                            if buffers:
-                                flush_buffers()
+                            # The swap traffic merges into the buffered
+                            # columns through the sink; _migrate itself
+                            # never reads controller state, so deferred
+                            # demand need not land first.
                             penalty += migrate(segment, challenger, arrival)
                             frame = location_get(page, page)
                 else:
@@ -1291,8 +1541,10 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
                     else:
                         challenger = access_challenger(segment, page)
                         if challenger is not None:
-                            if buffers:
-                                flush_buffers()
+                            # The swap traffic merges into the buffered
+                            # columns through the sink; _migrate itself
+                            # never reads controller state, so deferred
+                            # demand need not land first.
                             penalty += migrate(segment, challenger, arrival)
                             frame = location_get(page, page)
                 if frame is not None:
@@ -1304,9 +1556,13 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
                         ci += fast_channels
                 buffered = buffer_get(ci)
                 if buffered is None:
-                    buffers[ci] = [(bank, row, is_write, arrival, arrival - penalty)]
+                    buffers[ci] = [
+                        (bank, row, is_write, arrival, arrival - penalty, demand)
+                    ]
                 else:
-                    buffered.append((bank, row, is_write, arrival, arrival - penalty))
+                    buffered.append(
+                        (bank, row, is_write, arrival, arrival - penalty, demand)
+                    )
             if buffers:
                 flush_buffers()
             last_ps = arrivals[end - 1] + offset
@@ -1315,9 +1571,12 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
                 if backlog > throttle_cap_ps:
                     offset += backlog - throttle_cap_ps
             pos = end
+        # Buffers are empty at chunk boundaries; finish() runs direct.
+        engine.swap_sink = None
         end_ps = manager.finish(last_ps)
     finally:
         engine.batch_swaps = False
+        engine.swap_sink = None
     return collect_result(manager, trace, end_ps)
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.errors import AddressError
-from ..dram.controller import ControllerStats
+from ..dram.controller import ControllerStats, ServicePathStats
 from ..dram.devices import DDR4_1600_TIMING, HBM_TIMING, MemoryDevice
 from ..dram.request import DEMAND
 from ..dram.timing import DramTiming
@@ -151,6 +151,13 @@ class HybridMemory:
             merged.merge(device.merged_stats())
         return merged
 
+    def merged_service_paths(self) -> ServicePathStats:
+        """Batched-path service counters summed over both devices."""
+        merged = ServicePathStats()
+        for device in (self.fast, self.slow):
+            merged.merge(device.merged_service_paths())
+        return merged
+
 
 class SingleLevelMemory:
     """A one-technology memory covering the whole flat space.
@@ -229,3 +236,7 @@ class SingleLevelMemory:
     def merged_stats(self) -> ControllerStats:
         """Controller statistics over the single device."""
         return self.device.merged_stats()
+
+    def merged_service_paths(self) -> ServicePathStats:
+        """Batched-path service counters over the single device."""
+        return self.device.merged_service_paths()

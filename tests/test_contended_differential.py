@@ -1,0 +1,225 @@
+"""Randomized differential stress for the contended service engine.
+
+PR 7's episode classifier and indexed scheduler replace the scalar
+``_choose`` drain inside ``enqueue_batch``'s contended path.  The unit
+suite (``test_dram_controller_batch.py``) pins each precondition in
+isolation; this suite generates *adversarial composites* — seeded
+random interleavings of the exact shapes that sit on the episode
+boundaries:
+
+* equal-arrival twin bursts (the degenerate all-twins backlog the
+  closed form serves),
+* read/write turnarounds straddling an episode (direction flip mid
+  twin run),
+* refresh boundaries landing inside a would-be episode,
+* an aged conflicting element parked under the backlog so starvation
+  promotion fires mid-stretch,
+* swap-shaped migration runs merged behind demand (the merged-drain
+  column shape), and
+* idle gaps that drain the window back to the fast path between
+  stretches.
+
+Every case drives identical columns through per-element ``enqueue``
+and through ``enqueue_batch`` / ``enqueue_run`` on twin controllers
+and asserts *full* state-snapshot equality (stats, bus/refresh/
+turnaround cursors, per-bank row state, exact pending contents).  The
+suite is pure Python — no numpy anywhere — so CI's no-numpy job runs
+it unchanged as the no-numpy leg.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.dram import DDR4_1600_TIMING, HBM_TIMING
+from repro.dram.controller import ChannelController
+from repro.dram.request import DEMAND, MIGRATION
+
+BANKS = 16
+
+
+def snapshot(ctrl):
+    return {
+        "stats": asdict(ctrl.stats),
+        "bus_free_ps": ctrl.bus_free_ps,
+        "last_completion_ps": ctrl.last_completion_ps,
+        "refreshes": ctrl.refreshes,
+        "last_was_write": bool(ctrl._last_was_write),
+        "next_refresh_ps": ctrl._next_refresh_ps,
+        "pending": list(ctrl._pending),
+        "banks": [
+            (b.open_row, b.busy_until_ps, b.activated_ps, b.hits, b.misses, b.conflicts)
+            for b in ctrl.banks
+        ],
+    }
+
+
+def adversarial_stretch(seed, events, timing):
+    """One seeded adversarial request stream.
+
+    Returns ``(bank, row, is_write, arrival, kind)`` tuples composed of
+    the boundary shapes listed in the module docstring.
+    """
+    rng = DeterministicRng(seed)
+    trefi = timing.trefi_ps
+    requests = []
+    at = 0
+    bank = 0
+    row = 0
+    for _ in range(events):
+        roll = rng.random()
+        if roll < 0.30:
+            # Equal-arrival twin burst: the episode shape, long enough
+            # to overflow the window several times over.
+            bank = rng.randrange(4)
+            row = rng.randrange(8)
+            w = int(rng.random() < 0.5)
+            at += rng.randrange(40_000)
+            burst = 4 + rng.randrange(80)
+            requests += [(bank, row, w, at, DEMAND)] * burst
+        elif roll < 0.45:
+            # Turnaround straddling an episode: a read twin run that
+            # flips direction midway at the same arrival.
+            bank = rng.randrange(4)
+            row = rng.randrange(8)
+            at += rng.randrange(40_000)
+            half = 4 + rng.randrange(40)
+            requests += [(bank, row, 0, at, DEMAND)] * half
+            requests += [(bank, row, 1, at, DEMAND)] * half
+        elif roll < 0.55:
+            # Refresh inside an episode: park the burst right past the
+            # next tREFI multiple so the classifier must bail once.
+            boundary = (at // trefi + 1) * trefi
+            at = boundary + rng.randrange(5_000)
+            bank = rng.randrange(4)
+            row = rng.randrange(8)
+            requests += [(bank, row, 0, at, DEMAND)] * (8 + rng.randrange(32))
+        elif roll < 0.70:
+            # Promotion mid-backlog: an old conflicting element, then a
+            # twin stream arriving past the starvation bound relative
+            # to it — the aged entry must interrupt the run exactly
+            # where the scalar reference promotes it.
+            bank = rng.randrange(2)
+            at += rng.randrange(10_000)
+            requests.append((bank, 31, 0, at, DEMAND))
+            at += ChannelController.STARVATION_PS + rng.randrange(50_000)
+            requests += [(bank, rng.randrange(8), 0, at, DEMAND)] * (
+                8 + rng.randrange(48)
+            )
+        elif roll < 0.90:
+            # The merged-drain column shape: demand, then a swap's
+            # read-phase/write-phase migration runs, then more demand —
+            # all in one column with a per-element kind.
+            at += rng.randrange(40_000)
+            lines = 8 + rng.randrange(24)
+            write_ps = at + 200_000
+            bank = rng.randrange(4)
+            row = rng.randrange(8)
+            requests += [(bank, row, 0, at, MIGRATION)] * lines
+            requests += [(bank, row, 1, write_ps, MIGRATION)] * lines
+            at = write_ps
+        else:
+            # Idle gap: drain back to the fast path (and let refresh
+            # fast-forward catch up on DDR4 timings).
+            at += trefi // 2 + rng.randrange(trefi)
+            requests.append(
+                (rng.randrange(BANKS), rng.randrange(32),
+                 int(rng.random() < 0.4), at, DEMAND)
+            )
+    return requests
+
+
+def assert_batch_matches(requests, timing, window):
+    one = ChannelController(timing, BANKS, window=window)
+    for bank, row, is_write, arrival, kind in requests:
+        one.enqueue(bank, row, is_write, arrival, kind)
+    many = ChannelController(timing, BANKS, window=window)
+    bank_col, row_col, write_col, arrival_col, kind_col = map(
+        list, zip(*requests)
+    )
+    many.enqueue_batch(
+        bank_col, row_col, write_col, arrival_col, None, DEMAND, kind_col
+    )
+    assert snapshot(many) == snapshot(one)
+    assert one.flush() == many.flush()
+    assert snapshot(many) == snapshot(one)
+    return many
+
+
+class TestAdversarialStretches:
+    @pytest.mark.parametrize("timing", [HBM_TIMING, DDR4_1600_TIMING],
+                             ids=lambda t: t.name)
+    # 32 > SCAN_WINDOW_MAX so the dict+deque indexed engine (not the
+    # list-scan engine) is the one proven equivalent at that width.
+    @pytest.mark.parametrize("window", [1, 2, 8, 16, 32])
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_snapshot_equality(self, timing, window, seed):
+        requests = adversarial_stretch(seed, 60, timing)
+        assert_batch_matches(requests, timing, window)
+
+    def test_streams_exercise_every_engine(self):
+        # The generator must actually reach all three counted paths
+        # (plus the uncounted fast path) — otherwise the equality
+        # passes above prove less than they claim.
+        totals = {"closed": 0, "indexed": 0, "scalar": 0}
+        for seed in (101, 202, 303):
+            requests = adversarial_stretch(seed, 60, HBM_TIMING)
+            for window in (1, 8, 32):
+                many = assert_batch_matches(requests, HBM_TIMING, window)
+                paths = many.service_paths
+                totals["closed"] += paths.closed_form_served
+                totals["indexed"] += paths.indexed_served
+                totals["scalar"] += paths.scalar_fallback_served
+                assert paths.batched_served <= many.stats.served
+        assert totals["closed"] > 0
+        assert totals["indexed"] > 0
+        assert totals["scalar"] > 0
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_enqueue_run_inside_adversarial_stream(self, seed):
+        # Interleave enqueue_run calls (the swap datapath) with scalar
+        # demand from the adversarial generator: the run's closed-form
+        # tail must chain correctly off an episode-engine-drained
+        # backlog and vice versa.
+        rng = DeterministicRng(seed)
+        one = ChannelController(DDR4_1600_TIMING, BANKS)
+        many = ChannelController(DDR4_1600_TIMING, BANKS)
+        at = 0
+        for _ in range(40):
+            at += rng.randrange(300_000)
+            bank = rng.randrange(4)
+            row = rng.randrange(8)
+            count = 1 + rng.randrange(64)
+            for _ in range(count):
+                one.enqueue(bank, row, False, at, MIGRATION)
+            many.enqueue_run(bank, row, False, at, count, MIGRATION)
+            for _ in range(rng.randrange(8)):
+                demand = (rng.randrange(BANKS), rng.randrange(16),
+                          bool(rng.random() < 0.4), at)
+                one.enqueue(*demand)
+                many.enqueue(*demand)
+                at += rng.randrange(4_000)
+            assert snapshot(many) == snapshot(one)
+        assert one.flush() == many.flush()
+        assert snapshot(many) == snapshot(one)
+
+    def test_batch_split_points_inside_episodes(self):
+        # Splitting a column mid-episode (the kernels flush at
+        # arbitrary chunk boundaries) must not change anything: the
+        # episode re-forms from the carried pending buffer.
+        requests = adversarial_stretch(404, 50, HBM_TIMING)
+        cols = list(map(list, zip(*requests)))
+        whole = ChannelController(HBM_TIMING, BANKS)
+        whole.enqueue_batch(cols[0], cols[1], cols[2], cols[3], None, DEMAND, cols[4])
+        split = ChannelController(HBM_TIMING, BANKS)
+        step = 37  # deliberately coprime with the burst sizes
+        for lo in range(0, len(requests), step):
+            hi = lo + step
+            split.enqueue_batch(
+                cols[0][lo:hi], cols[1][lo:hi], cols[2][lo:hi],
+                cols[3][lo:hi], None, DEMAND, cols[4][lo:hi],
+            )
+        assert snapshot(split) == snapshot(whole)
+        assert whole.flush() == split.flush()
+        assert snapshot(split) == snapshot(whole)

@@ -380,3 +380,129 @@ class TestLazyRefresh:
         one = run_pair(requests, timing=HBM_TIMING)
         assert one.refreshes >= 1
         assert one.stats.row_hits > 150
+
+
+class TestServiceEngine:
+    """The contended-path service engine: closed-form episodes, the
+    indexed scheduler, and the observability sidecar.
+
+    End-state equality is covered by every ``run_pair`` above; these
+    tests pin the *internals*: that the episode classifier actually
+    fires on its degenerate shape, that the indexed scheduler makes the
+    same decision as the scalar ``_choose`` reference on every single
+    service, and that the sidecar counters are conserved and invisible
+    to result snapshots.
+    """
+
+    def test_episode_shape_uses_closed_form(self):
+        # The degenerate backlog: one long run of identical elements at
+        # one arrival — every buffered entry is a twin of the incoming
+        # element, so FR-FCFS's pick order is provably fixed and the
+        # whole stretch must service via closed-form arithmetic.
+        requests = [(1, 3, 0, 5_000)] * 300
+        one = run_pair(requests)
+        many = ChannelController(HBM_TIMING, BANKS)
+        bank_col, row_col, write_col, arrival_col = map(list, zip(*requests))
+        many.enqueue_batch(bank_col, row_col, write_col, arrival_col)
+        assert many.service_paths.closed_form_served > 200
+        assert many.service_paths.scalar_fallback_served == 0
+
+    def test_episode_bails_on_direction_flip(self):
+        # A write twin arriving into a read backlog breaks the
+        # degenerate shape: the engine must fall back to the indexed
+        # per-element path at the turnaround, not mis-serve the episode.
+        requests = [(2, 7, 0, 9_000)] * 40 + [(2, 7, 1, 9_000)] * 40
+        run_pair(requests)
+
+    def test_episode_bails_on_refresh_boundary(self):
+        # The twin run arrives past a pending tREFI boundary; the
+        # closed-form recurrence has no refresh term, so the classifier
+        # must reject the episode until the per-element path has
+        # fast-forwarded the refresh and tallied its stall.
+        trefi = DDR4_1600_TIMING.trefi_ps
+        requests = [(0, 4, 0, trefi + 1_000)] * 150
+        one = run_pair(requests, timing=DDR4_1600_TIMING)
+        assert one.refreshes >= 1
+
+    def test_episode_bails_on_age_promotion_candidate(self):
+        # A conflicting older entry parked in the backlog means the
+        # buffer is not all twins: promotion may fire mid-stretch, so
+        # the episode precondition must reject the run.
+        requests = [(0, 2, 0, 100)] + [(0, 1, 0, 5_000)] * 120
+        run_pair(requests, timing=DDR4_1600_TIMING)
+
+    def test_kinds_column_matches_per_element_kinds(self):
+        # A mixed per-element kind column (the merged swap+demand drain
+        # shape) must tally per-kind stats exactly as interleaved
+        # enqueue calls with each element's own kind.
+        rng = DeterministicRng(17)
+        requests = random_requests(17, 1_500)
+        kinds = [MIGRATION if rng.random() < 0.4 else DEMAND for _ in requests]
+        one = ChannelController(HBM_TIMING, BANKS)
+        for (bank, row, is_write, arrival), k in zip(requests, kinds):
+            one.enqueue(bank, row, is_write, arrival, k)
+        many = ChannelController(HBM_TIMING, BANKS)
+        bank_col, row_col, write_col, arrival_col = map(list, zip(*requests))
+        many.enqueue_batch(
+            bank_col, row_col, write_col, arrival_col, None, DEMAND, kinds
+        )
+        assert snapshot(many) == snapshot(one)
+        assert one.flush() == many.flush()
+        assert snapshot(many) == snapshot(one)
+        assert one.stats.migration_count == sum(
+            1 for k in kinds if k == MIGRATION
+        )
+
+    def test_indexed_scheduler_matches_choose_per_decision(self):
+        # Not just end-state equality: the indexed engine must pick the
+        # *same entry* as the scalar _choose reference at every single
+        # service decision, in order.
+        class Recording(ChannelController):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self.serviced = []
+
+            def _service(self, entry):
+                self.serviced.append(entry)
+                return super()._service(entry)
+
+        for seed in (41, 42, 43):
+            requests = random_requests(seed, 1_200, spacing=800)
+            one = Recording(HBM_TIMING, BANKS)
+            for bank, row, is_write, arrival in requests:
+                one.enqueue(bank, row, is_write, arrival)
+            many = Recording(HBM_TIMING, BANKS)
+            bank_col, row_col, write_col, arrival_col = map(list, zip(*requests))
+            many.enqueue_batch(bank_col, row_col, write_col, arrival_col)
+            assert many.serviced == one.serviced
+            one.flush()
+            many.flush()
+            assert many.serviced == one.serviced
+
+    def test_sidecar_counters_are_conserved(self):
+        requests = random_requests(19, 2_000, spacing=400)
+        ctrl = ChannelController(HBM_TIMING, BANKS)
+        bank_col, row_col, write_col, arrival_col = map(list, zip(*requests))
+        ctrl.enqueue_batch(bank_col, row_col, write_col, arrival_col)
+        ctrl.flush()
+        paths = ctrl.service_paths
+        assert paths.closed_form_served >= 0
+        assert paths.indexed_served >= 0
+        assert paths.scalar_fallback_served >= 0
+        assert paths.batched_served <= ctrl.stats.served
+
+    def test_window_one_counts_scalar_fallback(self):
+        requests = [(i % 2, 3 if i % 3 else 4, 0, i * 10) for i in range(400)]
+        ctrl = ChannelController(HBM_TIMING, BANKS, window=1)
+        bank_col, row_col, write_col, arrival_col = map(list, zip(*requests))
+        ctrl.enqueue_batch(bank_col, row_col, write_col, arrival_col)
+        assert ctrl.service_paths.scalar_fallback_served > 0
+        assert ctrl.service_paths.indexed_served == 0
+
+    def test_sidecar_never_leaks_into_snapshots(self):
+        # The sidecar is observability only: two controllers that served
+        # the same traffic through different paths must still snapshot
+        # identically (run_pair depends on this).
+        requests = [(1, 3, 0, 5_000)] * 100
+        one = run_pair(requests)
+        assert one.service_paths.closed_form_served == 0
