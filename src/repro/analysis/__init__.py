@@ -16,9 +16,18 @@ Three layers keep the "refactor freely, run fast" loop safe:
   simulator (``simulate(sanitize=True)`` / ``--sanitize`` /
   ``REPRO_SANITIZE``) validating remap bijectivity, intra-pod closure,
   MEA counter bounds, timeline monotonicity, and stats conservation.
+* the **deep dataflow lint** (``repro lint --deep``) — per-function
+  CFGs (:mod:`~repro.analysis.cfg`) and dataflow queries
+  (:mod:`~repro.analysis.dataflow`) powering three checkers:
+  hoisted-state write-back proofs (:mod:`~repro.analysis.writeback`),
+  the numpy<->pure twin registry and manifest
+  (:mod:`~repro.analysis.twins`), and cache-key soundness from
+  ``simulate()`` (:mod:`~repro.analysis.cachekey`).
 """
 
-from .lint import Finding, lint_tree, run_lint
+from .cfg import build_cfg, iter_function_scopes
+from .dataflow import def_use_chains, postdominators, reaches_exit_avoiding
+from .lint import Finding, deep_findings, lint_tree, run_lint
 from .sanitize import (
     SANITIZE_ENV_VAR,
     SanitizerError,
@@ -29,7 +38,13 @@ from .sanitize import (
 
 __all__ = [
     "Finding",
+    "build_cfg",
+    "def_use_chains",
+    "deep_findings",
+    "iter_function_scopes",
     "lint_tree",
+    "postdominators",
+    "reaches_exit_avoiding",
     "run_lint",
     "SANITIZE_ENV_VAR",
     "SanitizerError",

@@ -1,0 +1,176 @@
+"""Dataflow analyses over :mod:`repro.analysis.cfg` graphs.
+
+Two layers:
+
+* **def-use chains** (:func:`def_use_chains`) — classic reaching
+  definitions over the statement-level CFG: for every ``(node, name)``
+  use, the set of nodes whose definition of ``name`` can reach it.
+  Exception edges participate (a definition "reaches" a handler through
+  the edge its raising statement took), so chains stay sound on the
+  paths the write-back checker cares about.
+* **must-pass queries** — :func:`reaches_exit_avoiding` answers "can
+  control flow from these nodes reach the function exit without passing
+  through any of *those* nodes?", which is exactly the post-dominance
+  question the write-back checker asks of a restore site, phrased as a
+  plain reachability search; :func:`postdominators` computes the full
+  post-dominator sets (used by the CFG test-suite to pin the builder's
+  edge semantics).
+
+The CFG over-approximates feasible paths, so a ``False`` from
+:func:`reaches_exit_avoiding` is a proof; a ``True`` is a finding that
+may, rarely, be a false positive to allowlist with a justification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .cfg import EXCEPTION, STMT, FunctionCFG, stmt_defs, stmt_uses
+
+#: A definition: (node id, name).
+Definition = Tuple[int, str]
+
+
+def node_defs(cfg: FunctionCFG) -> Dict[int, Set[str]]:
+    """Names defined per CFG node (empty for synthetic nodes)."""
+    return {
+        node.id: stmt_defs(node.stmt) if node.stmt is not None else set()
+        for node in cfg.nodes.values()
+    }
+
+
+def node_uses(cfg: FunctionCFG) -> Dict[int, Set[str]]:
+    """Names used per CFG node (empty for synthetic nodes)."""
+    return {
+        node.id: stmt_uses(node.stmt) if node.stmt is not None else set()
+        for node in cfg.nodes.values()
+    }
+
+
+def reaching_definitions(cfg: FunctionCFG) -> Dict[int, FrozenSet[Definition]]:
+    """IN set of reaching definitions per node (worklist fixpoint)."""
+    defs = node_defs(cfg)
+    in_sets: Dict[int, Set[Definition]] = {nid: set() for nid in cfg.nodes}
+    work = deque(cfg.nodes)
+    while work:
+        nid = work.popleft()
+        new_in: Set[Definition] = set()
+        for src, _kind in cfg.pred.get(nid, ()):
+            killed = defs[src]
+            new_in.update(
+                d for d in in_sets[src] if d[1] not in killed
+            )
+            new_in.update((src, name) for name in killed)
+        if new_in != in_sets[nid]:
+            in_sets[nid] = new_in
+            for dst, _kind in cfg.succ.get(nid, ()):
+                work.append(dst)
+    return {nid: frozenset(s) for nid, s in in_sets.items()}
+
+
+def def_use_chains(cfg: FunctionCFG) -> Dict[Tuple[int, str], Set[int]]:
+    """``(use node, name) -> set of defining nodes`` over the CFG."""
+    uses = node_uses(cfg)
+    reaching = reaching_definitions(cfg)
+    chains: Dict[Tuple[int, str], Set[int]] = {}
+    for nid, used in uses.items():
+        for name in used:
+            chains[(nid, name)] = {
+                d_node for d_node, d_name in reaching[nid] if d_name == name
+            }
+    return chains
+
+
+def definitions_of(cfg: FunctionCFG, name: str) -> List[int]:
+    """All nodes that (re)bind ``name``, in node-id order."""
+    return sorted(
+        node.id
+        for node in cfg.nodes.values()
+        if node.kind == STMT and name in stmt_defs(node.stmt)
+    )
+
+
+def reachable_from(cfg: FunctionCFG, starts: Iterable[int]) -> Set[int]:
+    """Every node reachable from ``starts`` (following all edge kinds)."""
+    seen: Set[int] = set()
+    work = deque(starts)
+    while work:
+        nid = work.popleft()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        for dst, _kind in cfg.succ.get(nid, ()):
+            if dst not in seen:
+                work.append(dst)
+    return seen
+
+
+def reaches_exit_avoiding(
+    cfg: FunctionCFG,
+    starts: Iterable[int],
+    avoid: Iterable[int],
+    *,
+    drop_start_exception_edges: bool = False,
+) -> bool:
+    """Can flow reach the exit from ``starts`` without entering ``avoid``?
+
+    ``avoid`` nodes are walls: the search never enters them, so a
+    ``False`` proves every exit path passes through one of them.  With
+    ``drop_start_exception_edges`` the *first* hop out of a start node
+    ignores its own exception edges — the phrasing a mutation check
+    needs, because a statement that raises mid-flight never completed
+    its own mutation.
+    """
+    walls = set(avoid)
+    seen: Set[int] = set()
+    work: deque = deque()
+    for start in starts:
+        if start in walls:
+            continue
+        for dst, kind in cfg.succ.get(start, ()):
+            if drop_start_exception_edges and kind == EXCEPTION:
+                continue
+            if dst not in walls:
+                work.append(dst)
+    while work:
+        nid = work.popleft()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        if nid == cfg.exit:
+            return True
+        for dst, _kind in cfg.succ.get(nid, ()):
+            if dst not in walls and dst not in seen:
+                work.append(dst)
+    return False
+
+
+def postdominators(cfg: FunctionCFG) -> Dict[int, Set[int]]:
+    """Post-dominator sets: ``pdom[n]`` = nodes on *every* n-to-exit path.
+
+    Iterative intersection over the reversed graph.  Nodes that cannot
+    reach the exit (e.g. the body of ``while True`` with no break) keep
+    the universal set — vacuously post-dominated, which is the
+    convention the checkers want (no exit path means nothing to prove).
+    """
+    all_nodes = set(cfg.nodes)
+    pdom: Dict[int, Set[int]] = {nid: set(all_nodes) for nid in cfg.nodes}
+    pdom[cfg.exit] = {cfg.exit}
+    changed = True
+    while changed:
+        changed = False
+        for nid in cfg.nodes:
+            if nid == cfg.exit:
+                continue
+            succs = [dst for dst, _ in cfg.succ.get(nid, ())]
+            if not succs:
+                continue
+            new: Set[int] = set(all_nodes)
+            for dst in succs:
+                new &= pdom[dst]
+            new.add(nid)
+            if new != pdom[nid]:
+                pdom[nid] = new
+                changed = True
+    return pdom

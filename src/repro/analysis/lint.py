@@ -30,8 +30,25 @@ encodes them as small AST rules over every module under ``src/``:
   trigger/flexibility, factory shape agreement, importable tracker
   path, unique and consistent names, canonical kinds present.
 
-File-level exemptions live in ``allowlist.json`` next to this module;
-``# noqa`` on a line suppresses findings on that line.
+``repro lint --deep`` adds three CFG/dataflow checkers (they import and
+analyse the whole tree, so they are opt-in for speed):
+
+* ``hoist-writeback`` — :mod:`repro.analysis.writeback` proves that
+  every controller/manager attribute hoisted into a local is written
+  back on *all* exits, including exceptional ones, and that declared
+  ``# hoists:`` contracts hold.
+* ``twin-parity`` — :mod:`repro.analysis.twins` checks the registered
+  numpy<->pure twin functions for signature agreement and fingerprints
+  them against ``twin_manifest.json``.
+* ``cache-key`` — :mod:`repro.analysis.cachekey` walks everything
+  reachable from ``simulate()`` and flags environment, wall-clock, or
+  mutable-global reads that are not folded into the SimCell
+  fingerprint.
+
+Exemptions live in ``allowlist.json`` next to this module: each entry
+is either a bare path (legacy) or ``{"path": ..., "reason": ...}``;
+deep-rule paths may carry a ``::qualname`` suffix to exempt one
+function.  ``# noqa`` on a line suppresses findings on that line.
 """
 
 from __future__ import annotations
@@ -61,6 +78,13 @@ RULES: Dict[str, str] = {
     "kernel-drift": "reference hot-loop functions match the kernel manifest",
     "annotations": "every annotation resolves at runtime",
     "mechanism-registry": "every registered mechanism spec resolves",
+}
+
+#: rule id -> description for the ``--deep`` CFG/dataflow checkers.
+DEEP_RULES: Dict[str, str] = {
+    "hoist-writeback": "hoisted state is written back on every exit path",
+    "twin-parity": "numpy<->pure twins agree and match the twin manifest",
+    "cache-key": "no unfingerprinted inputs reachable from simulate()",
 }
 
 _ALLOWLIST_FILE = Path(__file__).resolve().parent / "allowlist.json"
@@ -156,24 +180,39 @@ def package_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
-def load_allowlist(path: Optional[Path] = None) -> Dict[str, List[str]]:
-    """Rule -> list of exempt file paths (relative to ``src/``)."""
+def load_allowlist(path: Optional[Path] = None) -> Dict[str, Dict[str, str]]:
+    """Rule -> {exempt key: justification}.
+
+    Entries are bare path strings (legacy, empty justification) or
+    ``{"path": ..., "reason": ...}`` objects.  Keys are file paths
+    relative to ``src/``, optionally with a ``::qualname`` suffix for
+    the deep rules.
+    """
     allow_path = path if path is not None else _ALLOWLIST_FILE
     if not allow_path.exists():
         return {}
     with open(allow_path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    return {rule: list(paths) for rule, paths in data.items()}
+    out: Dict[str, Dict[str, str]] = {}
+    for rule, entries in data.items():
+        normalized: Dict[str, str] = {}
+        for entry in entries:
+            if isinstance(entry, str):
+                normalized[entry] = ""
+            else:
+                normalized[entry["path"]] = entry.get("reason", "")
+        out[rule] = normalized
+    return out
 
 
-def _allowed(allowlist: Dict[str, List[str]], rule: str, path: str) -> bool:
+def _allowed(allowlist: Dict[str, Dict[str, str]], rule: str, path: str) -> bool:
     return path in allowlist.get(rule, ())
 
 
 class _AstChecker(ast.NodeVisitor):
     """One-pass AST walk applying every syntactic rule to one module."""
 
-    def __init__(self, path: str, source: str, allowlist: Dict[str, List[str]]) -> None:
+    def __init__(self, path: str, source: str, allowlist: Dict[str, Dict[str, str]]) -> None:
         self.path = path
         self.allowlist = allowlist
         self.findings: List[Finding] = []
@@ -346,7 +385,7 @@ class _AstChecker(ast.NodeVisitor):
                 )
 
 
-def lint_source(source: str, path: str, allowlist: Optional[Dict[str, List[str]]] = None) -> List[Finding]:
+def lint_source(source: str, path: str, allowlist: Optional[Dict[str, Dict[str, str]]] = None) -> List[Finding]:
     """Run the syntactic rules over one module's source text."""
     allow = allowlist if allowlist is not None else load_allowlist()
     try:
@@ -368,7 +407,7 @@ def _python_files(root: Path) -> Iterable[Tuple[Path, str]]:
 
 def lint_tree(
     root: Optional[Path] = None,
-    allowlist: Optional[Dict[str, List[str]]] = None,
+    allowlist: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> List[Finding]:
     """Run the syntactic rules over every module under ``root``.
 
@@ -676,6 +715,59 @@ def _find_repo_root() -> Optional[Path]:
     return None
 
 
+def deep_findings(
+    root: Optional[Path] = None,
+    allowlist: Optional[Dict[str, Dict[str, str]]] = None,
+) -> List[Finding]:
+    """Run the ``--deep`` CFG/dataflow checkers over the tree.
+
+    Applies ``# noqa`` line suppression and the allowlist (a deep
+    finding is exempt if either its file path or ``path::qualname`` is
+    listed under the rule).
+    """
+    from .cachekey import check_cache_keys
+    from .twins import check_twin_parity
+    from .writeback import check_writeback_source
+
+    allow = allowlist if allowlist is not None else load_allowlist()
+    base = root if root is not None else package_root()
+
+    sources: Dict[str, str] = {}
+
+    def source_of(path: str) -> str:
+        if path not in sources:
+            file = base.parent / path
+            sources[path] = (
+                file.read_text(encoding="utf-8") if file.exists() else ""
+            )
+        return sources[path]
+
+    raw: List[Tuple[str, str, int, str, str]] = []
+    for file, display in _python_files(base):
+        source = file.read_text(encoding="utf-8")
+        sources[display] = source
+        for path, line, site, message in check_writeback_source(
+            source, display
+        ):
+            raw.append(("hoist-writeback", path, line, site, message))
+    for path, line, site, message in check_twin_parity(base):
+        raw.append(("twin-parity", path, line, site, message))
+    for path, line, site, message in check_cache_keys(base):
+        raw.append(("cache-key", path, line, site, message))
+
+    findings: List[Finding] = []
+    for rule, path, line, site, message in raw:
+        if _allowed(allow, rule, path) or _allowed(
+            allow, rule, f"{path}::{site}"
+        ):
+            continue
+        lines = source_of(path).splitlines()
+        if 1 <= line <= len(lines) and "# noqa" in lines[line - 1]:
+            continue
+        findings.append(Finding(rule, path, line, message))
+    return findings
+
+
 def run_external_tools(stream) -> bool:
     """Run ruff and mypy when installed; returns False on any failure.
 
@@ -722,16 +814,32 @@ def run_lint(
     update_manifest: bool = False,
     external: bool = False,
     skip_annotations: bool = False,
+    deep: bool = False,
+    as_json: bool = False,
     stream=None,
 ) -> int:
-    """Run every lint layer; print findings; return a process exit code."""
+    """Run every lint layer; print findings; return a process exit code.
+
+    ``deep`` adds the CFG/dataflow checkers (hoist-writeback,
+    twin-parity, cache-key).  ``as_json`` emits one JSON object per
+    finding (keys ``rule``/``path``/``line``/``message``) and no
+    summary line, for machine consumption in CI.
+    """
     import sys
 
     out = stream if stream is not None else sys.stdout
     if update_manifest:
+        from .twins import twin_fingerprints, write_twin_manifest
+
         fingerprints = write_kernel_manifest(manifest_path, root)
         print(
             f"kernel manifest updated: {len(fingerprints)} functions acknowledged",
+            file=out,
+        )
+        twin_prints = twin_fingerprints(root)
+        write_twin_manifest(twin_prints)
+        print(
+            f"twin manifest updated: {len(twin_prints)} sides acknowledged",
             file=out,
         )
 
@@ -740,14 +848,31 @@ def run_lint(
     findings.extend(check_mechanism_registry())
     if not skip_annotations:
         findings.extend(check_annotations())
+    if deep:
+        findings.extend(deep_findings(root))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for finding in findings:
-        print(finding.format(), file=out)
+        if as_json:
+            print(
+                json.dumps(
+                    {
+                        "rule": finding.rule,
+                        "path": finding.path,
+                        "line": finding.line,
+                        "message": finding.message,
+                    }
+                ),
+                file=out,
+            )
+        else:
+            print(finding.format(), file=out)
 
     external_ok = run_external_tools(out) if external else True
 
-    checked = ", ".join(sorted(RULES))
+    if as_json:
+        return 1 if findings or not external_ok else 0
+    checked = ", ".join(sorted({**RULES, **DEEP_RULES} if deep else RULES))
     if findings:
         print(f"repro lint: {len(findings)} finding(s) [{checked}]", file=out)
         return 1

@@ -184,6 +184,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run ruff and mypy when installed (CI installs both; "
              "they are skipped with a notice otherwise)",
     )
+    lint.add_argument(
+        "--deep", action="store_true", default=False,
+        help="also run the CFG/dataflow checkers: hoist-writeback, "
+             "twin-parity, cache-key",
+    )
+    lint.add_argument(
+        "--json", action="store_true", default=False, dest="as_json",
+        help="emit findings as JSON lines (no summary line)",
+    )
 
     return parser
 
@@ -403,7 +412,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.lint import run_lint
 
         return run_lint(
-            update_manifest=args.update_manifest, external=args.external
+            update_manifest=args.update_manifest,
+            external=args.external,
+            deep=args.deep,
+            as_json=args.as_json,
         )
     config = _config(args)
     if args.kernel:

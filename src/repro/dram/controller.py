@@ -487,163 +487,117 @@ class ChannelController:
                     same_direction = idx
             return same_direction if same_direction >= 0 else 0
 
-        closed_served = 0
-        indexed_served = 0
-        scalar_served = 0
-        i = 0
-        if window == 1:
-            # -- scalar FCFS fallback: exact clone of enqueue() ---------
-            # window == 1 defeats the idle-drain fast path and every
-            # episode precondition, so each element appends and drains
-            # through the scalar _choose clone (counted as the scalar
-            # fallback in the service-path sidecar).
-            while i < total:
-                arrival = arrivals[i]
-                pending.append(
-                    (arrival, accounts[i], banks[i], rows[i], is_writes[i],
-                     kind)
-                )
-                i += 1
-                if len(pending) == 1:
-                    continue
-                while len(pending) > window:
-                    _service(pending.pop(_choose_idx()))
-                while pending:
-                    idx = _choose_idx()
-                    cand = pending[idx]
-                    busy = bank_list[cand[2]].busy_until_ps
-                    start = cand[0] if cand[0] > busy else busy
-                    if start >= arrival:
-                        if idx != 0:
-                            head = pending[0]
-                            head_start = bank_list[head[2]].busy_until_ps
-                            if head[0] > head_start:
-                                head_start = head[0]
-                            if head_start < arrival:
-                                _service(pending.pop(0))
-                                continue
-                        break
-                    _service(pending.pop(idx))
-            # Every service above came from the scalar clone (the fast
-            # path needs window >= 2), so the count is just the total.
-            scalar_served = served
-        while i < total:
-            if len(pending) <= 1:
-                # -- idle-channel drain fast path -----------------------
-                # Holds the one in-flight transaction in locals; the
-                # pending buffer is only touched again on exit.
-                if pending:
-                    p_arr, p_acc, p_bank, p_row, p_w, p_kind = pending.pop()
-                else:
-                    p_arr = arrivals[i]
-                    p_acc = accounts[i]
-                    p_bank = banks[i]
-                    p_row = rows[i]
-                    p_w = is_writes[i]
-                    p_kind = kind
-                    i += 1
+        # Service paths below mutate only the hoisted cursors and
+        # accumulators; the finally writes every one of them back so
+        # the controller stays consistent on exceptional exits too.
+        try:
+            closed_served = 0
+            indexed_served = 0
+            scalar_served = 0
+            i = 0
+            if window == 1:
+                # -- scalar FCFS fallback: exact clone of enqueue() ---------
+                # window == 1 defeats the idle-drain fast path and every
+                # episode precondition, so each element appends and drains
+                # through the scalar _choose clone (counted as the scalar
+                # fallback in the service-path sidecar).
                 while i < total:
                     arrival = arrivals[i]
-                    bank = bank_list[p_bank]
-                    busy = bank.busy_until_ps
-                    start = p_arr if p_arr > busy else busy
-                    if start >= arrival:
-                        break  # contended: buffer it, take the general path
-                    # Service the held transaction (== _service_at on a
-                    # lone pending entry).
-                    if trefi and p_arr >= next_refresh:
-                        elapsed = (p_arr - next_refresh) // trefi
-                        boundary = next_refresh + elapsed * trefi
-                        refreshes += elapsed + 1
-                        next_refresh = boundary + trefi
-                        stall_end = boundary + trfc
-                        if bus_free < stall_end:
-                            bus_free = stall_end
-                        for b in bank_list:
-                            if b.busy_until_ps < stall_end:
-                                b.busy_until_ps = stall_end
-                        busy = bank.busy_until_ps
-                        start = p_arr if p_arr > busy else busy
-                    open_row = bank.open_row
-                    if open_row == p_row:
-                        bank.hits += 1
-                        row_hits += 1
-                        cas_issue = start
-                    elif open_row == -1:
-                        bank.misses += 1
-                        bank.activated_ps = start
-                        bank.open_row = p_row
-                        cas_issue = start + trcd
-                    else:
-                        bank.conflicts += 1
-                        earliest_pre = bank.activated_ps + tras
-                        pre_start = start if start > earliest_pre else earliest_pre
-                        act_start = pre_start + trp
-                        bank.activated_ps = act_start
-                        bank.open_row = p_row
-                        cas_issue = act_start + trcd
-                    data_ready = cas_issue + tcas
-                    bank_busy = cas_issue + burst
-                    bank.busy_until_ps = bank_busy
-                    if p_w != last_was_write:
-                        bus_free += turnaround
-                        last_was_write = p_w
-                    completion = (
-                        data_ready if data_ready > bus_free else bus_free
-                    ) + burst
-                    bus_free = completion
-                    if completion > last_completion:
-                        last_completion = completion
-                    served += 1
-                    if p_w:
-                        n_writes += 1
-                    else:
-                        n_reads += 1
-                    latency = completion - p_acc
-                    total_lat += latency
-                    if p_kind == DEMAND:
-                        demand_lat += latency
-                        demand_n += 1
-                    elif p_kind == MIGRATION:
-                        migration_lat += latency
-                        migration_n += 1
-                    else:
-                        bookkeeping_lat += latency
-                        bookkeeping_n += 1
-                    s_bank = p_bank
-                    s_row = p_row
-                    p_arr = arrival
-                    p_acc = accounts[i]
-                    p_bank = banks[i]
-                    p_row = rows[i]
-                    p_w = is_writes[i]
-                    p_kind = kind
+                    pending.append(
+                        (arrival, accounts[i], banks[i], rows[i], is_writes[i],
+                         kind)
+                    )
                     i += 1
-                    if p_bank != s_bank or p_row != s_row:
+                    if len(pending) == 1:
                         continue
-                    # Run-length row-hit streak: the serviced row is now
-                    # open, so successive same-bank same-row transactions
-                    # are guaranteed hits — stream them with the bank's
-                    # fields held in locals (refresh or contention breaks
-                    # the streak back to the full path above).
-                    run_hits = 0
+                    while len(pending) > window:
+                        _service(pending.pop(_choose_idx()))
+                    while pending:
+                        idx = _choose_idx()
+                        cand = pending[idx]
+                        busy = bank_list[cand[2]].busy_until_ps
+                        start = cand[0] if cand[0] > busy else busy
+                        if start >= arrival:
+                            if idx != 0:
+                                head = pending[0]
+                                head_start = bank_list[head[2]].busy_until_ps
+                                if head[0] > head_start:
+                                    head_start = head[0]
+                                if head_start < arrival:
+                                    _service(pending.pop(0))
+                                    continue
+                            break
+                        _service(pending.pop(idx))
+                # Every service above came from the scalar clone (the fast
+                # path needs window >= 2), so the count is just the total.
+                scalar_served = served
+            while i < total:
+                if len(pending) <= 1:
+                    # -- idle-channel drain fast path -----------------------
+                    # Holds the one in-flight transaction in locals; the
+                    # pending buffer is only touched again on exit.
+                    if pending:
+                        p_arr, p_acc, p_bank, p_row, p_w, p_kind = pending.pop()
+                    else:
+                        p_arr = arrivals[i]
+                        p_acc = accounts[i]
+                        p_bank = banks[i]
+                        p_row = rows[i]
+                        p_w = is_writes[i]
+                        p_kind = kind
+                        i += 1
                     while i < total:
                         arrival = arrivals[i]
-                        start = p_arr if p_arr > bank_busy else bank_busy
+                        bank = bank_list[p_bank]
+                        busy = bank.busy_until_ps
+                        start = p_arr if p_arr > busy else busy
                         if start >= arrival:
-                            break
+                            break  # contended: buffer it, take the general path
+                        # Service the held transaction (== _service_at on a
+                        # lone pending entry).
                         if trefi and p_arr >= next_refresh:
-                            break
-                        run_hits += 1
-                        bank_busy = start + burst
+                            elapsed = (p_arr - next_refresh) // trefi
+                            boundary = next_refresh + elapsed * trefi
+                            refreshes += elapsed + 1
+                            next_refresh = boundary + trefi
+                            stall_end = boundary + trfc
+                            if bus_free < stall_end:
+                                bus_free = stall_end
+                            for b in bank_list:
+                                if b.busy_until_ps < stall_end:
+                                    b.busy_until_ps = stall_end
+                            busy = bank.busy_until_ps
+                            start = p_arr if p_arr > busy else busy
+                        open_row = bank.open_row
+                        if open_row == p_row:
+                            bank.hits += 1
+                            row_hits += 1
+                            cas_issue = start
+                        elif open_row == -1:
+                            bank.misses += 1
+                            bank.activated_ps = start
+                            bank.open_row = p_row
+                            cas_issue = start + trcd
+                        else:
+                            bank.conflicts += 1
+                            earliest_pre = bank.activated_ps + tras
+                            pre_start = start if start > earliest_pre else earliest_pre
+                            act_start = pre_start + trp
+                            bank.activated_ps = act_start
+                            bank.open_row = p_row
+                            cas_issue = act_start + trcd
+                        data_ready = cas_issue + tcas
+                        bank_busy = cas_issue + burst
+                        bank.busy_until_ps = bank_busy
                         if p_w != last_was_write:
                             bus_free += turnaround
                             last_was_write = p_w
-                        data_ready = start + tcas
                         completion = (
                             data_ready if data_ready > bus_free else bus_free
                         ) + burst
                         bus_free = completion
+                        if completion > last_completion:
+                            last_completion = completion
                         served += 1
                         if p_w:
                             n_writes += 1
@@ -660,6 +614,8 @@ class ChannelController:
                         else:
                             bookkeeping_lat += latency
                             bookkeeping_n += 1
+                        s_bank = p_bank
+                        s_row = p_row
                         p_arr = arrival
                         p_acc = accounts[i]
                         p_bank = banks[i]
@@ -668,43 +624,391 @@ class ChannelController:
                         p_kind = kind
                         i += 1
                         if p_bank != s_bank or p_row != s_row:
+                            continue
+                        # Run-length row-hit streak: the serviced row is now
+                        # open, so successive same-bank same-row transactions
+                        # are guaranteed hits — stream them with the bank's
+                        # fields held in locals (refresh or contention breaks
+                        # the streak back to the full path above).
+                        run_hits = 0
+                        while i < total:
+                            arrival = arrivals[i]
+                            start = p_arr if p_arr > bank_busy else bank_busy
+                            if start >= arrival:
+                                break
+                            if trefi and p_arr >= next_refresh:
+                                break
+                            run_hits += 1
+                            bank_busy = start + burst
+                            if p_w != last_was_write:
+                                bus_free += turnaround
+                                last_was_write = p_w
+                            data_ready = start + tcas
+                            completion = (
+                                data_ready if data_ready > bus_free else bus_free
+                            ) + burst
+                            bus_free = completion
+                            served += 1
+                            if p_w:
+                                n_writes += 1
+                            else:
+                                n_reads += 1
+                            latency = completion - p_acc
+                            total_lat += latency
+                            if p_kind == DEMAND:
+                                demand_lat += latency
+                                demand_n += 1
+                            elif p_kind == MIGRATION:
+                                migration_lat += latency
+                                migration_n += 1
+                            else:
+                                bookkeeping_lat += latency
+                                bookkeeping_n += 1
+                            p_arr = arrival
+                            p_acc = accounts[i]
+                            p_bank = banks[i]
+                            p_row = rows[i]
+                            p_w = is_writes[i]
+                            p_kind = kind
+                            i += 1
+                            if p_bank != s_bank or p_row != s_row:
+                                break
+                        if run_hits:
+                            bank.hits += run_hits
+                            row_hits += run_hits
+                            bank.busy_until_ps = bank_busy
+                            if completion > last_completion:
+                                last_completion = completion
+                    pending.append((p_arr, p_acc, p_bank, p_row, p_w, p_kind))
+                    if i >= total:
+                        break
+                    # The next element is contended against the held one:
+                    # fall through into the contended engine.
+                if window <= self.SCAN_WINDOW_MAX:
+                    # -- contended stretch: scan engine ---------------------
+                    # At the windows the paper's configurations use (<= 16)
+                    # the reference pending list plus ``_choose_idx``'s
+                    # direct scan beats any auxiliary structure — appends
+                    # stay a plain list append and a mid-list pop of a
+                    # handful of entries is a single small memmove.  What
+                    # the batched engine adds on top of the scalar clone are
+                    # the two closed-form episode shapes, both gated on the
+                    # ``uni`` flag below so ordinary demand pays one local
+                    # bool test per element.
+                    #
+                    # ``uni`` tracks "every buffered entry equals ``prev``"
+                    # incrementally instead of rescanning the buffer per
+                    # element: it is established once on stretch entry (the
+                    # backlog an ``enqueue_run`` tail leaves is all twins),
+                    # preserved by the episode paths (they only append
+                    # twins), and killed by any ordinary append.  A buffer
+                    # that *becomes* uniform some other way is merely missed
+                    # — every episode falls back to the exact per-element
+                    # drain, so the flag is a performance hint, never a
+                    # correctness input.
+                    prev = pending[-1]
+                    uni = True
+                    for v in pending:
+                        if v != prev:
+                            uni = False
                             break
-                    if run_hits:
-                        bank.hits += run_hits
-                        row_hits += run_hits
-                        bank.busy_until_ps = bank_busy
-                        if completion > last_completion:
-                            last_completion = completion
-                pending.append((p_arr, p_acc, p_bank, p_row, p_w, p_kind))
-                if i >= total:
-                    break
-                # The next element is contended against the held one:
-                # fall through into the contended engine.
-            if window <= self.SCAN_WINDOW_MAX:
-                # -- contended stretch: scan engine ---------------------
-                # At the windows the paper's configurations use (<= 16)
-                # the reference pending list plus ``_choose_idx``'s
-                # direct scan beats any auxiliary structure — appends
-                # stay a plain list append and a mid-list pop of a
-                # handful of entries is a single small memmove.  What
-                # the batched engine adds on top of the scalar clone are
-                # the two closed-form episode shapes, both gated on the
-                # ``uni`` flag below so ordinary demand pays one local
-                # bool test per element.
+                    s0 = served - closed_served
+                    while i < total:
+                        arrival = arrivals[i]
+                        entry = (
+                            arrival, accounts[i], banks[i], rows[i],
+                            is_writes[i], kind,
+                        )
+                        # -- closed-form backlog episode --------------------
+                        # enqueue_run's steady state, generalised to
+                        # mid-batch.  With the buffer holding only twins of
+                        # the incoming element, appends below the window are
+                        # provably service-free — the chosen head is a twin
+                        # whose start ``max(arrival, busy)`` can never
+                        # precede its own arrival, so the gated drain breaks
+                        # at once — and the window fill collapses into one
+                        # bulk extend.  Once the window is full (and the
+                        # twins' row open, the bus direction matching, no
+                        # refresh due), every further append services
+                        # exactly one twin head: a row hit at its own
+                        # arrival, age promotion dormant under equal
+                        # arrivals, the serviced head replaced by the
+                        # identical incoming element.  A run of incoming
+                        # twins therefore collapses into the same
+                        # arithmetic-series recurrence enqueue_run uses.
+                        # Any precondition failing falls through to the
+                        # exact per-element drain below.
+                        gate = uni and entry == prev
+                        if gate:
+                            e_arr, e_acc, e_bank, e_row, e_w, e_kind = entry
+                            j = i + 1
+                            while (
+                                j < total
+                                and arrivals[j] == e_arr
+                                and banks[j] == e_bank
+                                and rows[j] == e_row
+                                and is_writes[j] == e_w
+                                and accounts[j] == e_acc
+                            ):
+                                j += 1
+                            run = j - i
+                            fill = window - len(pending)
+                            if fill > 0:
+                                if fill > run:
+                                    fill = run
+                                pending.extend([entry] * fill)
+                                run -= fill
+                                i += fill
+                                if run == 0:
+                                    continue
+                            if (
+                                e_w == last_was_write
+                                and bank_list[e_bank].open_row == e_row
+                                and not (trefi and e_arr >= next_refresh)
+                            ):
+                                bank = bank_list[e_bank]
+                                bank_busy = bank.busy_until_ps
+                                # Same recurrence as enqueue_run: stable
+                                # within three steps, arithmetic series
+                                # after.
+                                warm = 3 if run > 3 else run
+                                completion = bus_free
+                                lat = 0
+                                for _ in range(warm):
+                                    start = (
+                                        e_arr if e_arr > bank_busy else bank_busy
+                                    )
+                                    bank_busy = start + burst
+                                    data_ready = start + tcas
+                                    completion = (
+                                        data_ready if data_ready > bus_free
+                                        else bus_free
+                                    ) + burst
+                                    bus_free = completion
+                                    lat += completion - e_acc
+                                tail = run - warm
+                                if tail > 0:
+                                    bank_busy += tail * burst
+                                    bus_free += tail * burst
+                                    lat += (
+                                        tail * (completion - e_acc)
+                                        + burst * tail * (tail + 1) // 2
+                                    )
+                                bank.busy_until_ps = bank_busy
+                                bank.hits += run
+                                row_hits += run
+                                if bus_free > last_completion:
+                                    last_completion = bus_free
+                                served += run
+                                if e_w:
+                                    n_writes += run
+                                else:
+                                    n_reads += run
+                                total_lat += lat
+                                if e_kind == DEMAND:
+                                    demand_lat += lat
+                                    demand_n += run
+                                elif e_kind == MIGRATION:
+                                    migration_lat += lat
+                                    migration_n += run
+                                else:
+                                    bookkeeping_lat += lat
+                                    bookkeeping_n += run
+                                closed_served += run
+                                i = j
+                                continue
+                        # -- per-element: append + window-bounded drain -----
+                        pending.append(entry)
+                        i += 1
+                        k = len(pending)
+                        was_uni = uni and not gate
+                        if not gate:
+                            # An ordinary append breaks the twin shape.  A
+                            # gated append whose episode preconditions failed
+                            # (row closed, turnaround, refresh due) is
+                            # another twin: the buffer stays uniform, and the
+                            # uniform drain below would re-test exactly the
+                            # conditions that just failed, so it is skipped.
+                            prev = entry
+                            uni = False
+                            if k == 1:
+                                break  # lone transaction: back to the fast path
+                        # -- closed-form uniform-backlog drain --------------
+                        # The second episode shape: the buffer holds twins
+                        # of the *previous* element (a page-copy read run
+                        # meeting its write phase, or a swap backlog meeting
+                        # demand) while the newcomer's later arrival gates
+                        # the drain.  The twin head is the oldest row hit,
+                        # so every drain iteration provably services it — no
+                        # promotion can fire against an equal-arrival head
+                        # and the head check never triggers — which
+                        # collapses the whole backlog into the enqueue_run
+                        # recurrence instead of one _choose scan per
+                        # serviced element.
+                        if was_uni and k > 2:
+                            twin = pending[0]
+                            if (
+                                twin[4] == last_was_write
+                                and bank_list[twin[2]].open_row == twin[3]
+                                and not (trefi and twin[0] >= next_refresh)
+                            ):
+                                e_arr, e_acc, e_bank, e_row, e_w, e_kind = twin
+                                bank = bank_list[e_bank]
+                                bank_busy = bank.busy_until_ps
+                                need = k - window  # unconditional overflow
+                                limit = k - 1  # the gated newcomer stays
+                                done = 0
+                                lat = 0
+                                while done < limit:
+                                    start = (
+                                        e_arr if e_arr > bank_busy else bank_busy
+                                    )
+                                    if done >= need and start >= arrival:
+                                        break
+                                    bank_busy = start + burst
+                                    data_ready = start + tcas
+                                    completion = (
+                                        data_ready if data_ready > bus_free
+                                        else bus_free
+                                    ) + burst
+                                    bus_free = completion
+                                    lat += completion - e_acc
+                                    done += 1
+                                if done:
+                                    bank.busy_until_ps = bank_busy
+                                    bank.hits += done
+                                    row_hits += done
+                                    if bus_free > last_completion:
+                                        last_completion = bus_free
+                                    served += done
+                                    if e_w:
+                                        n_writes += done
+                                    else:
+                                        n_reads += done
+                                    total_lat += lat
+                                    if e_kind == DEMAND:
+                                        demand_lat += lat
+                                        demand_n += done
+                                    elif e_kind == MIGRATION:
+                                        migration_lat += lat
+                                        migration_n += done
+                                    else:
+                                        bookkeeping_lat += lat
+                                        bookkeeping_n += done
+                                    closed_served += done
+                                    del pending[:done]
+                                # The drain loops below are now a provable
+                                # no-op: the survivors are gated twins plus
+                                # the gated newcomer, within the window.
+                                if len(pending) > 1:
+                                    continue
+                                break  # drained: the fast path takes over
+                        while k > window:
+                            _service(pending.pop(_choose_idx()))
+                            k -= 1
+                        while pending:
+                            idx = _choose_idx()
+                            cand = pending[idx]
+                            busy = bank_list[cand[2]].busy_until_ps
+                            start = cand[0] if cand[0] > busy else busy
+                            if start >= arrival:
+                                if idx != 0:
+                                    head = pending[0]
+                                    head_start = bank_list[head[2]].busy_until_ps
+                                    if head[0] > head_start:
+                                        head_start = head[0]
+                                    if head_start < arrival:
+                                        _service(pending.pop(0))
+                                        continue
+                                break
+                            _service(pending.pop(idx))
+                        if len(pending) <= 1:
+                            break  # drained: the fast path takes over
+                    # Per-element services in this stretch all went through
+                    # _service; the episodes tracked their own count, so the
+                    # indexed tally is the served delta minus the closed
+                    # delta — no per-service increment on the drain loops.
+                    indexed_served += served - closed_served - s0
+                    continue  # outer loop: fast path or batch exhausted
+                # -- contended stretch: indexed FR-FCFS engine --------------
+                # Large windows (> SCAN_WINDOW_MAX) defeat the O(window)
+                # scan, so the pending buffer is lifted into ``live`` — an
+                # insertion-ordered seq -> entry map (seeded here, written
+                # back on exit).  Dicts preserve insertion order, so
+                # iterating ``live`` *is* the reference pending-list order,
+                # the smallest live seq is the oldest transaction, and
+                # removal is an O(1) pop instead of a mid-list shift.  The
+                # deque chooser reproduces ``_choose`` decision for decision
+                # (oldest row hit, unless the head has starved past
+                # STARVATION_PS; else oldest same-direction; else head) over
+                # ``by_br`` ((bank << 32) | row -> seq queue; the oldest row
+                # hit is the smallest head over the banks with pending
+                # entries, ``bank_count``) plus per-direction queues
+                # ``dir_q`` for the write-batching fallback, all tombstoned
+                # lazily by testing membership in ``live``.
                 #
-                # ``uni`` tracks "every buffered entry equals ``prev``"
-                # incrementally instead of rescanning the buffer per
-                # element: it is established once on stretch entry (the
-                # backlog an ``enqueue_run`` tail leaves is all twins),
-                # preserved by the episode paths (they only append
-                # twins), and killed by any ordinary append.  A buffer
-                # that *becomes* uniform some other way is merely missed
-                # — every episode falls back to the exact per-element
-                # drain, so the flag is a performance hint, never a
-                # correctness input.
-                prev = pending[-1]
+                # ``tests/test_dram_controller_batch.py`` and
+                # ``tests/test_contended_differential.py`` prove equality
+                # per service decision against the scalar reference for
+                # both engines.
+                live = {}
+                by_br = {}
+                dir_q = (deque(), deque())
+                bank_count = {}
+                seq = 0
+                for entry in pending:
+                    live[seq] = entry
+                    e_bank = entry[2]
+                    key = (e_bank << 32) | entry[3]
+                    d = by_br.get(key)
+                    if d is None:
+                        by_br[key] = d = deque()
+                    d.append(seq)
+                    dir_q[1 if entry[4] else 0].append(seq)
+                    bank_count[e_bank] = bank_count.get(e_bank, 0) + 1
+                    seq += 1
+                del pending[:]
+
+                def _ichoose(starvation=self.STARVATION_PS):
+                    """``_choose`` over the deque indices (large windows)."""
+                    head_seq = next(iter(live))
+                    if len(live) == 1:
+                        return head_seq, head_seq
+                    best = -1
+                    for b in bank_count:
+                        d = by_br.get((b << 32) | bank_list[b].open_row)
+                        if d:
+                            while d and d[0] not in live:
+                                d.popleft()
+                            if d:
+                                s = d[0]
+                                if best < 0 or s < best:
+                                    best = s
+                    if best >= 0:
+                        if live[best][0] > live[head_seq][0] + starvation:
+                            return head_seq, head_seq  # age promotion
+                        return best, head_seq
+                    q = dir_q[1 if last_was_write else 0]
+                    while q and q[0] not in live:
+                        q.popleft()
+                    if q:
+                        return q[0], head_seq
+                    return head_seq, head_seq
+
+                def _ipop(s):
+                    """Drop seq ``s`` from the index; returns its entry."""
+                    entry = live.pop(s)
+                    b = entry[2]
+                    c = bank_count[b] - 1
+                    if c:
+                        bank_count[b] = c
+                    else:
+                        del bank_count[b]
+                    return entry
+
+                prev = live[next(iter(live))]
                 uni = True
-                for v in pending:
+                for v in live.values():
                     if v != prev:
                         uni = False
                         break
@@ -712,30 +1016,35 @@ class ChannelController:
                 while i < total:
                     arrival = arrivals[i]
                     entry = (
-                        arrival, accounts[i], banks[i], rows[i],
-                        is_writes[i], kind,
+                        arrival, accounts[i], banks[i], rows[i], is_writes[i],
+                        kind,
                     )
-                    # -- closed-form backlog episode --------------------
-                    # enqueue_run's steady state, generalised to
-                    # mid-batch.  With the buffer holding only twins of
-                    # the incoming element, appends below the window are
-                    # provably service-free — the chosen head is a twin
-                    # whose start ``max(arrival, busy)`` can never
-                    # precede its own arrival, so the gated drain breaks
-                    # at once — and the window fill collapses into one
-                    # bulk extend.  Once the window is full (and the
-                    # twins' row open, the bus direction matching, no
-                    # refresh due), every further append services
-                    # exactly one twin head: a row hit at its own
-                    # arrival, age promotion dormant under equal
-                    # arrivals, the serviced head replaced by the
-                    # identical incoming element.  A run of incoming
-                    # twins therefore collapses into the same
-                    # arithmetic-series recurrence enqueue_run uses.
-                    # Any precondition failing falls through to the
-                    # exact per-element drain below.
+                    # -- closed-form backlog episode ------------------------
+                    # enqueue_run's steady state, generalised to mid-batch.
+                    # With the buffer holding only twins of the incoming
+                    # element, appends below the window are provably
+                    # service-free — the chosen head is a twin whose start
+                    # ``max(arrival, busy)`` can never precede its own
+                    # arrival, so the gated drain breaks at once — and the
+                    # window fill collapses into a bulk append.  Once the
+                    # window is full (and the twins' row open, the bus
+                    # direction matching, no refresh due), every further
+                    # append services exactly one twin head: a row hit at
+                    # its own arrival, age promotion dormant under equal
+                    # arrivals, the serviced head replaced by the identical
+                    # incoming element.  A run of incoming twins therefore
+                    # collapses into the same arithmetic-series recurrence
+                    # enqueue_run uses.  Any precondition failing falls
+                    # through to the exact per-element drain below.
+                    #
+                    # The gate is the incrementally maintained ``uni`` flag
+                    # (see the scan engine above): established on stretch
+                    # entry, preserved by the episode paths, killed by any
+                    # ordinary append — so ordinary demand pays one local
+                    # bool test here, never a buffer scan.
                     gate = uni and entry == prev
                     if gate:
+                        twin = entry
                         e_arr, e_acc, e_bank, e_row, e_w, e_kind = entry
                         j = i + 1
                         while (
@@ -748,11 +1057,19 @@ class ChannelController:
                         ):
                             j += 1
                         run = j - i
-                        fill = window - len(pending)
+                        fill = window - len(live)
                         if fill > 0:
                             if fill > run:
                                 fill = run
-                            pending.extend([entry] * fill)
+                            for _ in range(fill):
+                                live[seq] = twin
+                                d = by_br.get((e_bank << 32) | e_row)
+                                if d is None:
+                                    by_br[(e_bank << 32) | e_row] = d = deque()
+                                d.append(seq)
+                                dir_q[1 if e_w else 0].append(seq)
+                                bank_count[e_bank] = bank_count.get(e_bank, 0) + 1
+                                seq += 1
                             run -= fill
                             i += fill
                             if run == 0:
@@ -764,21 +1081,17 @@ class ChannelController:
                         ):
                             bank = bank_list[e_bank]
                             bank_busy = bank.busy_until_ps
-                            # Same recurrence as enqueue_run: stable
-                            # within three steps, arithmetic series
-                            # after.
+                            # Same recurrence as enqueue_run: stable within
+                            # three steps, arithmetic series after.
                             warm = 3 if run > 3 else run
                             completion = bus_free
                             lat = 0
                             for _ in range(warm):
-                                start = (
-                                    e_arr if e_arr > bank_busy else bank_busy
-                                )
+                                start = e_arr if e_arr > bank_busy else bank_busy
                                 bank_busy = start + burst
                                 data_ready = start + tcas
                                 completion = (
-                                    data_ready if data_ready > bus_free
-                                    else bus_free
+                                    data_ready if data_ready > bus_free else bus_free
                                 ) + burst
                                 bus_free = completion
                                 lat += completion - e_acc
@@ -813,36 +1126,42 @@ class ChannelController:
                             closed_served += run
                             i = j
                             continue
-                    # -- per-element: append + window-bounded drain -----
-                    pending.append(entry)
+                    # -- per-element: append + window-bounded drain ---------
+                    live[seq] = entry
+                    e_bank = entry[2]
+                    key = (e_bank << 32) | entry[3]
+                    d = by_br.get(key)
+                    if d is None:
+                        by_br[key] = d = deque()
+                    d.append(seq)
+                    dir_q[1 if entry[4] else 0].append(seq)
+                    bank_count[e_bank] = bank_count.get(e_bank, 0) + 1
+                    seq += 1
                     i += 1
-                    k = len(pending)
+                    k = len(live)
                     was_uni = uni and not gate
                     if not gate:
-                        # An ordinary append breaks the twin shape.  A
-                        # gated append whose episode preconditions failed
-                        # (row closed, turnaround, refresh due) is
-                        # another twin: the buffer stays uniform, and the
-                        # uniform drain below would re-test exactly the
-                        # conditions that just failed, so it is skipped.
+                        # An ordinary append breaks the twin shape; a gated
+                        # append whose episode preconditions failed is
+                        # another twin (the uniform drain below would re-test
+                        # the same failed conditions, so it is skipped).
                         prev = entry
                         uni = False
                         if k == 1:
                             break  # lone transaction: back to the fast path
-                    # -- closed-form uniform-backlog drain --------------
-                    # The second episode shape: the buffer holds twins
-                    # of the *previous* element (a page-copy read run
-                    # meeting its write phase, or a swap backlog meeting
-                    # demand) while the newcomer's later arrival gates
-                    # the drain.  The twin head is the oldest row hit,
-                    # so every drain iteration provably services it — no
-                    # promotion can fire against an equal-arrival head
-                    # and the head check never triggers — which
-                    # collapses the whole backlog into the enqueue_run
-                    # recurrence instead of one _choose scan per
-                    # serviced element.
+                    # -- closed-form uniform-backlog drain ------------------
+                    # The second episode shape: the buffer holds twins of
+                    # the *previous* element (a page-copy read run meeting
+                    # its write phase, or a swap backlog meeting demand)
+                    # while the newcomer's later arrival gates the drain.
+                    # The twin head is the oldest row hit, so every drain
+                    # iteration provably services it — no promotion can fire
+                    # against an equal-arrival head and the head check never
+                    # triggers — which collapses the whole backlog into the
+                    # enqueue_run recurrence instead of one _ichoose scan
+                    # per serviced element.
                     if was_uni and k > 2:
-                        twin = pending[0]
+                        twin = next(iter(live.values()))
                         if (
                             twin[4] == last_was_write
                             and bank_list[twin[2]].open_row == twin[3]
@@ -851,21 +1170,18 @@ class ChannelController:
                             e_arr, e_acc, e_bank, e_row, e_w, e_kind = twin
                             bank = bank_list[e_bank]
                             bank_busy = bank.busy_until_ps
-                            need = k - window  # unconditional overflow
-                            limit = k - 1  # the gated newcomer stays
+                            need = k - window  # unconditional overflow part
+                            limit = k - 1  # the gated newcomer never drains
                             done = 0
                             lat = 0
                             while done < limit:
-                                start = (
-                                    e_arr if e_arr > bank_busy else bank_busy
-                                )
+                                start = e_arr if e_arr > bank_busy else bank_busy
                                 if done >= need and start >= arrival:
                                     break
                                 bank_busy = start + burst
                                 data_ready = start + tcas
                                 completion = (
-                                    data_ready if data_ready > bus_free
-                                    else bus_free
+                                    data_ready if data_ready > bus_free else bus_free
                                 ) + burst
                                 bus_free = completion
                                 lat += completion - e_acc
@@ -892,386 +1208,75 @@ class ChannelController:
                                     bookkeeping_lat += lat
                                     bookkeeping_n += done
                                 closed_served += done
-                                del pending[:done]
-                            # The drain loops below are now a provable
-                            # no-op: the survivors are gated twins plus
-                            # the gated newcomer, within the window.
-                            if len(pending) > 1:
+                                c = bank_count[e_bank] - done
+                                if c:
+                                    bank_count[e_bank] = c
+                                else:
+                                    del bank_count[e_bank]
+                                while done:
+                                    del live[next(iter(live))]
+                                    done -= 1
+                            # The drain loop below is now a provable no-op:
+                            # the survivors are gated twins (their chooser
+                            # pick is the gated twin head) plus the gated
+                            # newcomer, and the buffer is within the
+                            # window, so skip straight past it.
+                            if len(live) > 1:
                                 continue
                             break  # drained: the fast path takes over
-                    while k > window:
-                        _service(pending.pop(_choose_idx()))
-                        k -= 1
-                    while pending:
-                        idx = _choose_idx()
-                        cand = pending[idx]
+                    while len(live) > window:
+                        _service(_ipop(_ichoose()[0]))
+                    while live:
+                        s, head_seq = _ichoose()
+                        cand = live[s]
                         busy = bank_list[cand[2]].busy_until_ps
                         start = cand[0] if cand[0] > busy else busy
                         if start >= arrival:
-                            if idx != 0:
-                                head = pending[0]
+                            if s != head_seq:
+                                head = live[head_seq]
                                 head_start = bank_list[head[2]].busy_until_ps
                                 if head[0] > head_start:
                                     head_start = head[0]
                                 if head_start < arrival:
-                                    _service(pending.pop(0))
+                                    _service(_ipop(head_seq))
                                     continue
                             break
-                        _service(pending.pop(idx))
-                    if len(pending) <= 1:
+                        _service(_ipop(s))
+                    if len(live) <= 1:
                         break  # drained: the fast path takes over
-                # Per-element services in this stretch all went through
-                # _service; the episodes tracked their own count, so the
-                # indexed tally is the served delta minus the closed
-                # delta — no per-service increment on the drain loops.
+                # Per-element services all went through _service and the
+                # episodes tracked their own count, so the indexed tally is
+                # the served delta minus the closed delta.
                 indexed_served += served - closed_served - s0
-                continue  # outer loop: fast path or batch exhausted
-            # -- contended stretch: indexed FR-FCFS engine --------------
-            # Large windows (> SCAN_WINDOW_MAX) defeat the O(window)
-            # scan, so the pending buffer is lifted into ``live`` — an
-            # insertion-ordered seq -> entry map (seeded here, written
-            # back on exit).  Dicts preserve insertion order, so
-            # iterating ``live`` *is* the reference pending-list order,
-            # the smallest live seq is the oldest transaction, and
-            # removal is an O(1) pop instead of a mid-list shift.  The
-            # deque chooser reproduces ``_choose`` decision for decision
-            # (oldest row hit, unless the head has starved past
-            # STARVATION_PS; else oldest same-direction; else head) over
-            # ``by_br`` ((bank << 32) | row -> seq queue; the oldest row
-            # hit is the smallest head over the banks with pending
-            # entries, ``bank_count``) plus per-direction queues
-            # ``dir_q`` for the write-batching fallback, all tombstoned
-            # lazily by testing membership in ``live``.
-            #
-            # ``tests/test_dram_controller_batch.py`` and
-            # ``tests/test_contended_differential.py`` prove equality
-            # per service decision against the scalar reference for
-            # both engines.
-            live = {}
-            by_br = {}
-            dir_q = (deque(), deque())
-            bank_count = {}
-            seq = 0
-            for entry in pending:
-                live[seq] = entry
-                e_bank = entry[2]
-                key = (e_bank << 32) | entry[3]
-                d = by_br.get(key)
-                if d is None:
-                    by_br[key] = d = deque()
-                d.append(seq)
-                dir_q[1 if entry[4] else 0].append(seq)
-                bank_count[e_bank] = bank_count.get(e_bank, 0) + 1
-                seq += 1
-            del pending[:]
+                # Write the survivors back in append order — ``live`` keeps
+                # insertion order through deletions, so its values are the
+                # reference pending list verbatim.
+                if live:
+                    pending.extend(live.values())
 
-            def _ichoose(starvation=self.STARVATION_PS):
-                """``_choose`` over the deque indices (large windows)."""
-                head_seq = next(iter(live))
-                if len(live) == 1:
-                    return head_seq, head_seq
-                best = -1
-                for b in bank_count:
-                    d = by_br.get((b << 32) | bank_list[b].open_row)
-                    if d:
-                        while d and d[0] not in live:
-                            d.popleft()
-                        if d:
-                            s = d[0]
-                            if best < 0 or s < best:
-                                best = s
-                if best >= 0:
-                    if live[best][0] > live[head_seq][0] + starvation:
-                        return head_seq, head_seq  # age promotion
-                    return best, head_seq
-                q = dir_q[1 if last_was_write else 0]
-                while q and q[0] not in live:
-                    q.popleft()
-                if q:
-                    return q[0], head_seq
-                return head_seq, head_seq
-
-            def _ipop(s):
-                """Drop seq ``s`` from the index; returns its entry."""
-                entry = live.pop(s)
-                b = entry[2]
-                c = bank_count[b] - 1
-                if c:
-                    bank_count[b] = c
-                else:
-                    del bank_count[b]
-                return entry
-
-            prev = live[next(iter(live))]
-            uni = True
-            for v in live.values():
-                if v != prev:
-                    uni = False
-                    break
-            s0 = served - closed_served
-            while i < total:
-                arrival = arrivals[i]
-                entry = (
-                    arrival, accounts[i], banks[i], rows[i], is_writes[i],
-                    kind,
-                )
-                # -- closed-form backlog episode ------------------------
-                # enqueue_run's steady state, generalised to mid-batch.
-                # With the buffer holding only twins of the incoming
-                # element, appends below the window are provably
-                # service-free — the chosen head is a twin whose start
-                # ``max(arrival, busy)`` can never precede its own
-                # arrival, so the gated drain breaks at once — and the
-                # window fill collapses into a bulk append.  Once the
-                # window is full (and the twins' row open, the bus
-                # direction matching, no refresh due), every further
-                # append services exactly one twin head: a row hit at
-                # its own arrival, age promotion dormant under equal
-                # arrivals, the serviced head replaced by the identical
-                # incoming element.  A run of incoming twins therefore
-                # collapses into the same arithmetic-series recurrence
-                # enqueue_run uses.  Any precondition failing falls
-                # through to the exact per-element drain below.
-                #
-                # The gate is the incrementally maintained ``uni`` flag
-                # (see the scan engine above): established on stretch
-                # entry, preserved by the episode paths, killed by any
-                # ordinary append — so ordinary demand pays one local
-                # bool test here, never a buffer scan.
-                gate = uni and entry == prev
-                if gate:
-                    twin = entry
-                    e_arr, e_acc, e_bank, e_row, e_w, e_kind = entry
-                    j = i + 1
-                    while (
-                        j < total
-                        and arrivals[j] == e_arr
-                        and banks[j] == e_bank
-                        and rows[j] == e_row
-                        and is_writes[j] == e_w
-                        and accounts[j] == e_acc
-                    ):
-                        j += 1
-                    run = j - i
-                    fill = window - len(live)
-                    if fill > 0:
-                        if fill > run:
-                            fill = run
-                        for _ in range(fill):
-                            live[seq] = twin
-                            d = by_br.get((e_bank << 32) | e_row)
-                            if d is None:
-                                by_br[(e_bank << 32) | e_row] = d = deque()
-                            d.append(seq)
-                            dir_q[1 if e_w else 0].append(seq)
-                            bank_count[e_bank] = bank_count.get(e_bank, 0) + 1
-                            seq += 1
-                        run -= fill
-                        i += fill
-                        if run == 0:
-                            continue
-                    if (
-                        e_w == last_was_write
-                        and bank_list[e_bank].open_row == e_row
-                        and not (trefi and e_arr >= next_refresh)
-                    ):
-                        bank = bank_list[e_bank]
-                        bank_busy = bank.busy_until_ps
-                        # Same recurrence as enqueue_run: stable within
-                        # three steps, arithmetic series after.
-                        warm = 3 if run > 3 else run
-                        completion = bus_free
-                        lat = 0
-                        for _ in range(warm):
-                            start = e_arr if e_arr > bank_busy else bank_busy
-                            bank_busy = start + burst
-                            data_ready = start + tcas
-                            completion = (
-                                data_ready if data_ready > bus_free else bus_free
-                            ) + burst
-                            bus_free = completion
-                            lat += completion - e_acc
-                        tail = run - warm
-                        if tail > 0:
-                            bank_busy += tail * burst
-                            bus_free += tail * burst
-                            lat += (
-                                tail * (completion - e_acc)
-                                + burst * tail * (tail + 1) // 2
-                            )
-                        bank.busy_until_ps = bank_busy
-                        bank.hits += run
-                        row_hits += run
-                        if bus_free > last_completion:
-                            last_completion = bus_free
-                        served += run
-                        if e_w:
-                            n_writes += run
-                        else:
-                            n_reads += run
-                        total_lat += lat
-                        if e_kind == DEMAND:
-                            demand_lat += lat
-                            demand_n += run
-                        elif e_kind == MIGRATION:
-                            migration_lat += lat
-                            migration_n += run
-                        else:
-                            bookkeeping_lat += lat
-                            bookkeeping_n += run
-                        closed_served += run
-                        i = j
-                        continue
-                # -- per-element: append + window-bounded drain ---------
-                live[seq] = entry
-                e_bank = entry[2]
-                key = (e_bank << 32) | entry[3]
-                d = by_br.get(key)
-                if d is None:
-                    by_br[key] = d = deque()
-                d.append(seq)
-                dir_q[1 if entry[4] else 0].append(seq)
-                bank_count[e_bank] = bank_count.get(e_bank, 0) + 1
-                seq += 1
-                i += 1
-                k = len(live)
-                was_uni = uni and not gate
-                if not gate:
-                    # An ordinary append breaks the twin shape; a gated
-                    # append whose episode preconditions failed is
-                    # another twin (the uniform drain below would re-test
-                    # the same failed conditions, so it is skipped).
-                    prev = entry
-                    uni = False
-                    if k == 1:
-                        break  # lone transaction: back to the fast path
-                # -- closed-form uniform-backlog drain ------------------
-                # The second episode shape: the buffer holds twins of
-                # the *previous* element (a page-copy read run meeting
-                # its write phase, or a swap backlog meeting demand)
-                # while the newcomer's later arrival gates the drain.
-                # The twin head is the oldest row hit, so every drain
-                # iteration provably services it — no promotion can fire
-                # against an equal-arrival head and the head check never
-                # triggers — which collapses the whole backlog into the
-                # enqueue_run recurrence instead of one _ichoose scan
-                # per serviced element.
-                if was_uni and k > 2:
-                    twin = next(iter(live.values()))
-                    if (
-                        twin[4] == last_was_write
-                        and bank_list[twin[2]].open_row == twin[3]
-                        and not (trefi and twin[0] >= next_refresh)
-                    ):
-                        e_arr, e_acc, e_bank, e_row, e_w, e_kind = twin
-                        bank = bank_list[e_bank]
-                        bank_busy = bank.busy_until_ps
-                        need = k - window  # unconditional overflow part
-                        limit = k - 1  # the gated newcomer never drains
-                        done = 0
-                        lat = 0
-                        while done < limit:
-                            start = e_arr if e_arr > bank_busy else bank_busy
-                            if done >= need and start >= arrival:
-                                break
-                            bank_busy = start + burst
-                            data_ready = start + tcas
-                            completion = (
-                                data_ready if data_ready > bus_free else bus_free
-                            ) + burst
-                            bus_free = completion
-                            lat += completion - e_acc
-                            done += 1
-                        if done:
-                            bank.busy_until_ps = bank_busy
-                            bank.hits += done
-                            row_hits += done
-                            if bus_free > last_completion:
-                                last_completion = bus_free
-                            served += done
-                            if e_w:
-                                n_writes += done
-                            else:
-                                n_reads += done
-                            total_lat += lat
-                            if e_kind == DEMAND:
-                                demand_lat += lat
-                                demand_n += done
-                            elif e_kind == MIGRATION:
-                                migration_lat += lat
-                                migration_n += done
-                            else:
-                                bookkeeping_lat += lat
-                                bookkeeping_n += done
-                            closed_served += done
-                            c = bank_count[e_bank] - done
-                            if c:
-                                bank_count[e_bank] = c
-                            else:
-                                del bank_count[e_bank]
-                            while done:
-                                del live[next(iter(live))]
-                                done -= 1
-                        # The drain loop below is now a provable no-op:
-                        # the survivors are gated twins (their chooser
-                        # pick is the gated twin head) plus the gated
-                        # newcomer, and the buffer is within the
-                        # window, so skip straight past it.
-                        if len(live) > 1:
-                            continue
-                        break  # drained: the fast path takes over
-                while len(live) > window:
-                    _service(_ipop(_ichoose()[0]))
-                while live:
-                    s, head_seq = _ichoose()
-                    cand = live[s]
-                    busy = bank_list[cand[2]].busy_until_ps
-                    start = cand[0] if cand[0] > busy else busy
-                    if start >= arrival:
-                        if s != head_seq:
-                            head = live[head_seq]
-                            head_start = bank_list[head[2]].busy_until_ps
-                            if head[0] > head_start:
-                                head_start = head[0]
-                            if head_start < arrival:
-                                _service(_ipop(head_seq))
-                                continue
-                        break
-                    _service(_ipop(s))
-                if len(live) <= 1:
-                    break  # drained: the fast path takes over
-            # Per-element services all went through _service and the
-            # episodes tracked their own count, so the indexed tally is
-            # the served delta minus the closed delta.
-            indexed_served += served - closed_served - s0
-            # Write the survivors back in append order — ``live`` keeps
-            # insertion order through deletions, so its values are the
-            # reference pending list verbatim.
-            if live:
-                pending.extend(live.values())
-
-        self.bus_free_ps = bus_free
-        self._last_was_write = last_was_write
-        self._next_refresh_ps = next_refresh
-        self.refreshes = refreshes
-        self.last_completion_ps = last_completion
-        stats = self.stats
-        stats.served += served
-        stats.reads += n_reads
-        stats.writes += n_writes
-        stats.row_hits += row_hits
-        stats.total_latency_ps += total_lat
-        stats.demand_latency_ps += demand_lat
-        stats.migration_latency_ps += migration_lat
-        stats.bookkeeping_latency_ps += bookkeeping_lat
-        stats.demand_count += demand_n
-        stats.migration_count += migration_n
-        stats.bookkeeping_count += bookkeeping_n
-        if closed_served or indexed_served or scalar_served:
-            paths = self.service_paths
-            paths.closed_form_served += closed_served
-            paths.indexed_served += indexed_served
-            paths.scalar_fallback_served += scalar_served
+        finally:
+            self.bus_free_ps = bus_free
+            self._last_was_write = last_was_write
+            self._next_refresh_ps = next_refresh
+            self.refreshes = refreshes
+            self.last_completion_ps = last_completion
+            stats = self.stats
+            stats.served += served
+            stats.reads += n_reads
+            stats.writes += n_writes
+            stats.row_hits += row_hits
+            stats.total_latency_ps += total_lat
+            stats.demand_latency_ps += demand_lat
+            stats.migration_latency_ps += migration_lat
+            stats.bookkeeping_latency_ps += bookkeeping_lat
+            stats.demand_count += demand_n
+            stats.migration_count += migration_n
+            stats.bookkeeping_count += bookkeeping_n
+            if closed_served or indexed_served or scalar_served:
+                paths = self.service_paths
+                paths.closed_form_served += closed_served
+                paths.indexed_served += indexed_served
+                paths.scalar_fallback_served += scalar_served
 
     def enqueue_run(
         self,
@@ -1352,23 +1357,28 @@ class ChannelController:
         # excess e = bus_free - (start + tcas) maps to max(e, 0), which
         # is a fixed point from the third element on.  Everything after
         # is an arithmetic series: completions one burst apart.
-        head = 3 if count > 3 else count
-        completion = bus_free
-        for _ in range(head):
-            start = arrival_ps if arrival_ps > bank_busy else bank_busy
-            bank_busy = start + burst
-            data_ready = start + tcas
-            completion = (data_ready if data_ready > bus_free else bus_free) + burst
-            bus_free = completion
-            total_lat += completion - arrival_ps
-        tail = count - head
-        if tail > 0:
-            bank_busy += tail * burst
-            bus_free += tail * burst
-            total_lat += tail * (completion - arrival_ps) + burst * tail * (tail + 1) // 2
-        bank_obj.busy_until_ps = bank_busy
+        # The recurrence mutates the hoisted bank/bus cursors in
+        # place; the finally keeps the controller consistent even if
+        # a bad column raises mid-run.
+        try:
+            head = 3 if count > 3 else count
+            completion = bus_free
+            for _ in range(head):
+                start = arrival_ps if arrival_ps > bank_busy else bank_busy
+                bank_busy = start + burst
+                data_ready = start + tcas
+                completion = (data_ready if data_ready > bus_free else bus_free) + burst
+                bus_free = completion
+                total_lat += completion - arrival_ps
+            tail = count - head
+            if tail > 0:
+                bank_busy += tail * burst
+                bus_free += tail * burst
+                total_lat += tail * (completion - arrival_ps) + burst * tail * (tail + 1) // 2
+        finally:
+            bank_obj.busy_until_ps = bank_busy
+            self.bus_free_ps = bus_free
         bank_obj.hits += count
-        self.bus_free_ps = bus_free
         if bus_free > self.last_completion_ps:
             self.last_completion_ps = bus_free
         stats = self.stats

@@ -569,6 +569,7 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
     pos = 0
     i = 0
     flushed = 0  # records whose tracker updates have been applied
+    # hoists: engine.batch_swaps, engine.swap_sink
     engine.batch_swaps = True
     engine.swap_sink = swap_sink
     try:
@@ -916,8 +917,9 @@ def _replay_mempod_pure(trace, packed, manager, throttle_cap_ps):
     pos = 0
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
     engine = manager.engine
-    engine.batch_swaps = True
+    # hoists: engine.batch_swaps, engine.swap_sink
     swap_sink = _swap_merged_rows(ctrls, buffers)
+    engine.batch_swaps = True
     engine.swap_sink = swap_sink
     try:
         while pos < total:
@@ -1071,8 +1073,9 @@ def _replay_hma_pure(trace, packed, manager, throttle_cap_ps):
     pos = 0
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
     engine = manager.engine
-    engine.batch_swaps = True
+    # hoists: engine.batch_swaps, engine.swap_sink
     swap_sink = _swap_merged_rows(ctrls, buffers)
+    engine.batch_swaps = True
     engine.swap_sink = swap_sink
     try:
         while pos < total:
@@ -1257,6 +1260,7 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
             )
         return snapshot
 
+    # hoists: engine.batch_swaps, engine.swap_sink
     engine.batch_swaps = True
     engine.swap_sink = swap_sink
     try:
@@ -1504,8 +1508,9 @@ def _replay_thm_pure(trace, packed, manager, throttle_cap_ps):
     pos = 0
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
     engine = manager.engine
-    engine.batch_swaps = True
+    # hoists: engine.batch_swaps, engine.swap_sink
     swap_sink = _swap_merged_rows(ctrls, buffers)
+    engine.batch_swaps = True
     engine.swap_sink = swap_sink
     try:
         while pos < total:
