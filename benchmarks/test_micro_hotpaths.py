@@ -180,3 +180,39 @@ def test_thm_migration_churn_reference_throughput(benchmark, geometry, churn_tra
         rounds=3,
         iterations=1,
     )
+
+
+def test_trace_store_cold_synth_write_throughput(benchmark, geometry, tmp_path):
+    """Trace acquisition before the store: synthesise the cell's trace
+    (plus the store's one-time columnar write, which rides along)."""
+    from repro.trace.io import save_columnar
+
+    out = tmp_path / "cell.mpt"
+
+    def cold():
+        trace = build_trace(
+            get_workload("mix8"), geometry, length=20_000, seed=5
+        ).trace
+        save_columnar(trace, out)
+
+    benchmark.pedantic(cold, rounds=3, iterations=1)
+
+
+def test_trace_store_throughput(benchmark, geometry, tmp_path):
+    """Trace acquisition after the store: a warm hit memory-maps the
+    planes in O(1) — compare against the cold benchmark above for the
+    per-sweep-cell saving."""
+    from repro.trace.io import save_columnar
+    from repro.trace.store import open_columnar
+
+    out = tmp_path / "cell.mpt"
+    trace = build_trace(get_workload("mix8"), geometry, length=20_000, seed=5).trace
+    save_columnar(trace, out)
+
+    def warm():
+        loaded = open_columnar(out, name="mix8")
+        # Touch both ends so the benchmark includes first-page faults.
+        assert loaded.records[0][0] <= loaded.records[-1][0]
+        return loaded
+
+    benchmark(warm)

@@ -53,6 +53,24 @@ ACCOUNTED_ENV: Dict[str, str] = {
         "field; cells always pass sanitize= explicitly, so the in-cell "
         "read only serves uncached direct simulate() calls"
     ),
+    "REPRO_TRACE_DIR": (
+        "relocates the columnar trace store; store files are "
+        "content-addressed over (workload, scale, length, seed, "
+        "code_version_token), all payload fields, so *where* a trace "
+        "is cached can never change *which* trace a cell replays"
+    ),
+    "REPRO_NO_TRACE_STORE": (
+        "switches trace_for() between the store and the in-memory "
+        "build of the same deterministic synthesis; the differential "
+        "suite pins the two representations byte-identical, so the "
+        "flag changes residency, not results"
+    ),
+    "REPRO_TRACE_WINDOW": (
+        "sizes the streaming window for memory-mapped replay; windows "
+        "are whole throttle chunks and the streamed grouping is proven "
+        "equal to the eager grouping (windowed-vs-in-memory "
+        "differential), so batching granularity cannot reach results"
+    ),
 }
 
 #: Module-level mutable globals readable on the simulate() path because

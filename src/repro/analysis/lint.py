@@ -146,6 +146,15 @@ KERNEL_FINGERPRINT_FUNCTIONS: Tuple[str, ...] = (
     "repro/tracking/competing.py::CompetingCounterArray.access_batch",
     "repro/tracking/competing.py::CompetingCounterArray._access_loop",
     "repro/tracking/full_counters.py::FullCountersTracker.record_batch",
+    # the memory-mapped trace path: the streamed grouping and the
+    # per-mechanism decode helpers must keep matching the eager plane
+    # builders bit for bit (windowed-vs-in-memory differential suite)
+    "repro/trace/packed.py::PackedTrace.chunk_groups",
+    "repro/trace/packed.py::PackedTrace.chunk_groups_streamed",
+    "repro/trace/packed.py::PackedTrace.from_planes",
+    "repro/kernel/replay.py::_single_decode_np",
+    "repro/kernel/replay.py::_hybrid_decode_np",
+    "repro/kernel/replay.py::_stream_window",
 )
 
 _WALL_CLOCK_ATTRS = frozenset({

@@ -90,12 +90,26 @@ TWIN_PAIRS: Tuple[TwinPair, ...] = (
         "repro/dram/controller.py::ChannelController.enqueue",
         same_signature=False,
     ),
+    TwinPair(
+        # The streamed generator must yield, window for window, exactly
+        # what the eager grouping computes over the same records; the
+        # windowed-vs-in-memory differential suite proves it, this pair
+        # keeps the two implementations pinned together.
+        "chunk-groups-streamed",
+        "repro/trace/packed.py::PackedTrace.chunk_groups_streamed",
+        "repro/trace/packed.py::PackedTrace.chunk_groups",
+        same_signature=False,
+    ),
     # fused twins: one body, both legs
     TwinPair(
         "full-counters-record",
         "repro/tracking/full_counters.py::FullCountersTracker.record_batch",
     ),
     TwinPair("chunk-groups", "repro/trace/packed.py::PackedTrace.chunk_groups"),
+    TwinPair("trace-v1-encode", "repro/trace/io.py::_encode_records_v1"),
+    TwinPair("trace-v1-decode", "repro/trace/io.py::_decode_records_v1"),
+    TwinPair("trace-v2-encode-plane", "repro/trace/io.py::_encode_plane"),
+    TwinPair("trace-v2-load-planes", "repro/trace/io.py::load_columnar_planes"),
     TwinPair("single-plane", "repro/kernel/replay.py::_single_plane"),
     TwinPair("hybrid-plane", "repro/kernel/replay.py::_hybrid_plane"),
     TwinPair("mempod-pod-plane", "repro/kernel/replay.py::_mempod_pod_plane"),

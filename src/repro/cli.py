@@ -12,6 +12,11 @@ Exposes the library's main entry points without writing Python:
 * ``repro sweep [ARTEFACT...]``       — regenerate several artefacts
                                         through one runner/cache
 * ``repro energy WORKLOAD``           — the Section 5.3 energy view
+* ``repro trace synth|import|export|info``
+                                      — columnar trace-store utilities
+                                        (synthesise to a file, import
+                                        tracehm TSV / v1 / text traces,
+                                        export, inspect headers)
 * ``repro lint``                      — project-invariant static
                                         analysis + kernel-drift check
 
@@ -143,16 +148,70 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd = sub.add_parser(
         "run", help="compare mechanisms on one workload", parents=[shared]
     )
-    run_cmd.add_argument("name", help="workload name")
+    run_cmd.add_argument(
+        "name", nargs="?", default=None,
+        help="workload name (omit when replaying a file via --trace)",
+    )
     run_cmd.add_argument(
         "--mechanisms", default="tlm,mempod,thm,cameo,hbm-only",
         help="comma-separated mechanism list",
+    )
+    run_cmd.add_argument(
+        "--trace", default=None, metavar="FILE", dest="trace_file",
+        help="replay a trace file instead of synthesising the workload "
+             "(.mpt columnar / .bin v1 / .txt text / .tsv tracehm)",
     )
 
     energy = sub.add_parser(
         "energy", help="energy comparison on one workload", parents=[shared]
     )
     energy.add_argument("name", help="workload name")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="columnar trace-store utilities", parents=[shared]
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_action", required=True)
+    synth = trace_sub.add_parser(
+        "synth", parents=[shared],
+        help="synthesise a workload trace straight to a columnar file",
+    )
+    synth.add_argument("workload", help="workload name")
+    synth.add_argument("--out", "-o", required=True, metavar="FILE",
+                       help="destination .mpt file")
+    importer = trace_sub.add_parser(
+        "import", parents=[shared],
+        help="convert an external trace (tracehm TSV, v1 binary, text) "
+             "to the columnar format",
+    )
+    importer.add_argument("src", help="source trace file")
+    importer.add_argument("--out", "-o", required=True, metavar="FILE",
+                          help="destination .mpt file")
+    importer.add_argument(
+        "--format", choices=("auto", "tsv", "bin", "txt", "mpt"),
+        default="auto", dest="trace_format",
+        help="source format (default: inferred from the extension)",
+    )
+    importer.add_argument(
+        "--tick-ps", type=int, default=None, metavar="PS",
+        help="TSV only: picoseconds per cnt tick (default 1000)",
+    )
+    importer.add_argument(
+        "--page-bytes", type=int, default=None, metavar="N",
+        help="TSV only: page size to record in the header "
+             "(default: the MemPod 2 KB page)",
+    )
+    importer.add_argument("--name", default="", help="trace name to record")
+    export = trace_sub.add_parser(
+        "export", parents=[shared],
+        help="convert a trace file to .txt, .bin, or .mpt by extension",
+    )
+    export.add_argument("src", help="source trace file")
+    export.add_argument("--out", "-o", required=True, metavar="FILE",
+                        help="destination file (.txt / .bin / .mpt)")
+    info = trace_sub.add_parser(
+        "info", parents=[shared], help="print a columnar trace's header"
+    )
+    info.add_argument("file", help=".mpt file to inspect")
 
     for artefact in ARTEFACTS:
         sub.add_parser(
@@ -320,9 +379,128 @@ def _cmd_profile_replay(
     return "\n".join(lines)
 
 
-def _cmd_run(config: ExperimentConfig, name: str, mechanisms: Sequence[str]) -> str:
+def _load_trace_file(
+    path: str,
+    fmt: str = "auto",
+    name: str = "",
+    page_bytes: Optional[int] = None,
+    tick_ps: Optional[int] = None,
+):
+    """Open a trace file, inferring the format from its extension.
+
+    ``.mpt`` opens zero-copy (memory-mapped when numpy is available);
+    the other formats load eagerly.  ``--format`` overrides inference
+    for files with unconventional extensions.
+    """
+    from pathlib import Path
+
+    from .trace.io import load_binary, load_text
+    from .trace.record import PAGE_BYTES
+    from .trace.store import DEFAULT_TSV_TICK_PS, import_tracehm_tsv, open_columnar
+
+    if fmt == "auto":
+        suffix = Path(path).suffix.lower()
+        fmt = {".mpt": "mpt", ".bin": "bin", ".tsv": "tsv", ".txt": "txt"}.get(
+            suffix, ""
+        )
+        if not fmt:
+            raise SystemExit(
+                f"repro: cannot infer trace format from {path!r} "
+                "(expected .mpt/.bin/.txt/.tsv); pass --format"
+            )
+    if fmt == "mpt":
+        return open_columnar(path, name=name)
+    if fmt == "bin":
+        return load_binary(path, name=name)
+    if fmt == "txt":
+        return load_text(path, name=name)
+    return import_tracehm_tsv(
+        path,
+        name=name,
+        page_bytes=PAGE_BYTES if page_bytes is None else page_bytes,
+        tick_ps=DEFAULT_TSV_TICK_PS if tick_ps is None else tick_ps,
+    )
+
+
+def _cmd_trace(config: ExperimentConfig, args: argparse.Namespace) -> str:
+    from .trace.io import (
+        columnar_size,
+        read_columnar_header,
+        save_binary,
+        save_columnar,
+        save_text,
+    )
+
+    action = args.trace_action
+    if action == "synth":
+        from .trace.interleave import build_trace
+        from .trace.workloads import get_workload
+
+        trace = build_trace(
+            get_workload(args.workload), config.geometry,
+            length=config.length, seed=config.seed,
+        ).trace
+        save_columnar(trace, args.out)
+        info = read_columnar_header(args.out)
+        return (
+            f"wrote {args.out}: {info.count:,} records, "
+            f"page_bytes {info.page_bytes}, {columnar_size(info.count):,} bytes"
+        )
+    if action == "import":
+        trace = _load_trace_file(
+            args.src, args.trace_format, args.name, args.page_bytes, args.tick_ps
+        )
+        save_columnar(trace, args.out)
+        return (
+            f"imported {args.src} -> {args.out}: {len(trace):,} records, "
+            f"page_bytes {trace.page_bytes}"
+        )
+    if action == "export":
+        from pathlib import Path
+
+        trace = _load_trace_file(args.src)
+        suffix = Path(args.out).suffix.lower()
+        if suffix == ".txt":
+            save_text(trace, args.out)
+        elif suffix == ".bin":
+            save_binary(trace, args.out)
+        elif suffix == ".mpt":
+            save_columnar(trace, args.out)
+        else:
+            raise SystemExit(
+                f"repro trace export: unsupported destination {args.out!r} "
+                "(expected .txt, .bin, or .mpt)"
+            )
+        return f"exported {args.src} -> {args.out}: {len(trace):,} records"
+    # info
+    info = read_columnar_header(args.file)
+    lines = [
+        f"path:        {args.file}",
+        f"records:     {info.count:,}",
+        f"page_bytes:  {info.page_bytes}",
+        f"max_address: {info.max_address}",
+        f"stride:      {info.stride:,} records/plane",
+        f"file bytes:  {columnar_size(info.count):,}",
+    ]
+    if info.count:
+        trace = _load_trace_file(args.file, fmt="mpt")
+        first = trace.records[0]
+        last = trace.records[-1]
+        lines.append(f"span:        {first[0]:,} .. {last[0]:,} ps")
+    return "\n".join(lines)
+
+
+def _cmd_run(
+    config: ExperimentConfig,
+    name: Optional[str],
+    mechanisms: Sequence[str],
+    trace_file: Optional[str] = None,
+) -> str:
     geometry = config.geometry
-    trace = trace_for(config, name)
+    if trace_file is not None:
+        trace = _load_trace_file(trace_file, name=name or "")
+    else:
+        trace = trace_for(config, name)
     lines = [f"{'mechanism':<10} {'AMMAT':>10} {'vs tlm':>8} {'fast':>6} {'migrations':>11}"]
     baseline_ns: Optional[float] = None
     for mechanism in mechanisms:
@@ -439,11 +617,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_cmd_profile(config, args.names))
         return 0
     if args.command == "run":
+        if args.name is None and args.trace_file is None:
+            raise SystemExit(
+                "repro run: provide a workload name or --trace FILE"
+            )
         mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
-        print(_cmd_run(config, args.name, mechanisms))
+        print(_cmd_run(config, args.name, mechanisms, args.trace_file))
         return 0
     if args.command == "energy":
         print(_cmd_energy(config, args.name))
+        return 0
+    if args.command == "trace":
+        print(_cmd_trace(config, args))
         return 0
 
     # Artefact commands fan their sweep cells out through the runner.

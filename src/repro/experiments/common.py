@@ -118,19 +118,56 @@ def _cached_trace(
     return build_trace(get_workload(workload), geometry, length=length, seed=seed)
 
 
+@lru_cache(maxsize=64)
+def _stored_trace(workload: str, scale: int, length: int, seed: int) -> Trace:
+    """The trace served through the columnar trace store.
+
+    Cold path synthesises once, persists, then *re-opens the stored
+    file*, so cold and warm runs replay the identical mapped
+    representation — there is exactly one replay code path per store
+    state, pinned byte-identical to the in-memory path by the
+    differential suite.  Any filesystem trouble (read-only store root,
+    disk full) falls back to the in-memory build; a *corrupt* store
+    file stays loud (``TraceError`` propagates).
+    """
+    from ..trace.store import TraceStore, synth_trace_key
+
+    key = synth_trace_key(workload, scale, length, seed)
+    try:
+        store = TraceStore()
+        trace = store.open(key, name=workload)
+        if trace is None:
+            store.save(key, _cached_trace(workload, scale, length, seed).trace)
+            trace = store.open(key, name=workload)
+        if trace is not None:
+            return trace
+    except OSError:
+        pass
+    return _cached_trace(workload, scale, length, seed).trace
+
+
 def trace_for(config: ExperimentConfig, workload: str) -> Trace:
     """Build (or reuse) the trace for one workload under ``config``.
 
-    Traces are deterministic in (workload, scale, length, seed), so an
-    in-process cache lets every mechanism of a comparison replay the
-    identical trace without rebuild cost.
+    Traces are deterministic in (workload, scale, length, seed).  By
+    default they are served through the content-addressed columnar
+    trace store (:mod:`repro.trace.store`): synthesised once *per
+    machine*, memory-mapped thereafter, so sweep workers in separate
+    processes stop re-synthesising the same trace per cell.  Setting
+    ``REPRO_NO_TRACE_STORE=1`` reverts to the per-process in-memory
+    build; either way an ``lru_cache`` deduplicates within a process.
     """
+    from ..trace.store import store_enabled
+
+    if store_enabled():
+        return _stored_trace(workload, config.scale, config.length, config.seed)
     return _cached_trace(workload, config.scale, config.length, config.seed).trace
 
 
 def clear_trace_cache() -> None:
     """Drop cached traces (benchmarks that sweep lengths call this)."""
     _cached_trace.cache_clear()
+    _stored_trace.cache_clear()
 
 
 def format_rows(

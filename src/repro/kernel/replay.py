@@ -58,6 +58,20 @@ not plausibility, so dispatch is deliberately conservative:
 
 The fallback *is* the reference loop, so ``fast_simulate`` is total:
 anything it cannot accelerate it still simulates correctly.
+
+**Mapped traces** (``packed.mapped`` — columns are memory-mapped planes
+of a columnar trace file, see :mod:`repro.trace.store`) replay through
+the same loops in *streaming* form: the direct kernels consume
+``chunk_groups_streamed`` (per-window decode instead of memoised
+trace-length planes), the interval and THM engines replace the decode
+planes with per-slice decodes of the address column (identity-mapped
+records decode to exactly the plane values, by definition), and scalar
+paths decode inline through the mappers.  Peak Python-heap usage is
+bounded by the streaming window instead of the trace length; results
+are pinned byte-identical to the in-memory path by
+``tests/test_trace_store.py``.  CAMEO is the documented exception: its
+per-record predictor-free loop still materialises the line/decode
+planes, so it replays mapped traces correctly but not with flat RSS.
 """
 
 from __future__ import annotations
@@ -76,6 +90,7 @@ from ..system.simulator import (
     reference_simulate,
 )
 from ..system.stats import collect_result
+from ..trace.store import DEFAULT_TRACE_WINDOW
 
 try:  # optional accelerator; plane builders have pure-Python twins
     import numpy as _np
@@ -267,6 +282,70 @@ def _hybrid_controllers(memory):
     return list(memory.fast.controllers) + list(memory.slow.controllers)
 
 
+# -- streaming decode (mapped traces) --------------------------------------
+#
+# A mapped trace's columns live on disk; memoising trace-length decode
+# planes on it would defeat the point.  These helpers package the exact
+# numpy decode formulas of _single_plane/_hybrid_plane as per-window
+# callables for PackedTrace.chunk_groups_streamed, so the direct kernels
+# decode one bounded window at a time.
+
+
+def _single_decode_np(device):
+    """Windowed (ctrl, bank, row) decoder for a single-device memory —
+    the same formulas as :func:`_single_plane`'s numpy leg."""
+    mapper = device.mapper
+    row_shift = mapper._row_shift
+    bank_shift = mapper._bank_shift
+    chan_shift = mapper._chan_shift
+    bank_mask = mapper._bank_mask
+    chan_mask = mapper._chan_mask
+
+    def decode(addresses):
+        return (
+            (addresses >> bank_shift) & chan_mask,
+            (addresses >> row_shift) & bank_mask,
+            addresses >> chan_shift,
+        )
+
+    return decode
+
+
+def _hybrid_decode_np(memory):
+    """Windowed (ctrl, bank, row) decoder for a hybrid memory — the
+    same formulas as :func:`_hybrid_plane`'s numpy leg (flat controller
+    indices, fast channels first)."""
+    fm = memory.fast.mapper
+    sm = memory.slow.mapper
+    fast_bytes = memory.geometry.fast_bytes
+    fast_channels = memory.fast.channels
+    where = _np.where
+
+    def decode(addresses):
+        is_fast = addresses < fast_bytes
+        off = where(is_fast, addresses, addresses - fast_bytes)
+        ctrls = where(
+            is_fast,
+            (off >> fm._bank_shift) & fm._chan_mask,
+            fast_channels + ((off >> sm._bank_shift) & sm._chan_mask),
+        )
+        banks = where(
+            is_fast,
+            (off >> fm._row_shift) & fm._bank_mask,
+            (off >> sm._row_shift) & sm._bank_mask,
+        )
+        rows = where(is_fast, off >> fm._chan_shift, off >> sm._chan_shift)
+        return ctrls, banks, rows
+
+    return decode
+
+
+def _stream_window(packed) -> int:
+    """The streaming window for a mapped trace (a positive multiple of
+    the 128-record throttle chunk, validated at open)."""
+    return packed.window or DEFAULT_TRACE_WINDOW
+
+
 # -- replay loops ----------------------------------------------------------
 #
 # Shared chunk scaffolding, repeated per kernel so every name in the hot
@@ -280,39 +359,50 @@ def _replay_tlm(trace, packed, manager, throttle_cap_ps):
     """TLM baseline: every record is one DEMAND enqueue, no remapping."""
     memory = manager.memory
     ctrls = _hybrid_controllers(memory)
-    plane = _hybrid_plane(packed, memory)
-    return _replay_direct(
-        trace, packed, manager, throttle_cap_ps,
-        ctrls, _hybrid_layout_key(memory), plane,
-    )
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    if packed.mapped:
+        chunks = packed.chunk_groups_streamed(
+            _hybrid_decode_np(memory), sample, _stream_window(packed)
+        )
+    else:
+        chunks = packed.chunk_groups(
+            _hybrid_layout_key(memory), *_hybrid_plane(packed, memory), sample
+        )
+    return _replay_direct(trace, packed, manager, throttle_cap_ps, ctrls, chunks)
 
 
 def _replay_single(trace, packed, manager, throttle_cap_ps):
     """HBM-only / DDR-only: one device, no remapping."""
     device = manager.memory.device
-    plane = _single_plane(packed, device)
+    sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
+    if packed.mapped:
+        chunks = packed.chunk_groups_streamed(
+            _single_decode_np(device), sample, _stream_window(packed)
+        )
+    else:
+        chunks = packed.chunk_groups(
+            _single_layout_key(device), *_single_plane(packed, device), sample
+        )
     return _replay_direct(
-        trace, packed, manager, throttle_cap_ps,
-        device.controllers, _single_layout_key(device), plane,
+        trace, packed, manager, throttle_cap_ps, device.controllers, chunks
     )
 
 
-def _replay_direct(
-    trace, packed, manager, throttle_cap_ps, ctrls, layout_key, plane,
-):
+def _replay_direct(trace, packed, manager, throttle_cap_ps, ctrls, chunks):
     """Shared loop for managers whose handle() is a bare memory access.
 
-    Fully batched: every throttle chunk is already regrouped by
-    controller index (memoised via ``PackedTrace.chunk_groups``), so the
-    replay is one ``enqueue_batch`` call per (chunk, controller) plus
-    the throttle sample — no per-record Python work at all while the
-    offset is zero.
+    Fully batched: every throttle chunk arrives already regrouped by
+    controller index — from the memoised ``PackedTrace.chunk_groups``
+    for in-memory traces, or the windowed ``chunk_groups_streamed``
+    generator for mapped ones (identical chunks, O(window) memory) — so
+    the replay is one ``enqueue_batch`` call per (chunk, controller)
+    plus the throttle sample — no per-record Python work at all while
+    the offset is zero.
     """
     batch = [ctrl.enqueue_batch for ctrl in ctrls]
     peak_bus = manager.memory.peak_bus_free_ps
     arrivals = packed.arrivals
     sample = THROTTLE_SAMPLE_PERIOD if throttle_cap_ps else 0
-    chunks = packed.chunk_groups(layout_key, *plane, sample)
     demand = DEMAND
     last_ps = 0
     offset = 0
@@ -513,9 +603,20 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
     ctrls = _hybrid_controllers(memory)
     batch = [ctrl.enqueue_batch for ctrl in ctrls]
     peak_bus = memory.peak_bus_free_ps
-    plane = _hybrid_plane(packed, memory)
-    plane_ctrl, plane_bank, plane_row = plane
-    ctrl_col, bank_col, row_col = packed.np_columns(_hybrid_layout_key(memory), plane)
+    mapped = packed.mapped
+    if mapped:
+        # Mapped traces never materialise trace-length decode planes:
+        # the vector path decodes each slice from the address column
+        # (identity records decode to exactly the plane values) and the
+        # scalar path decodes inline through the mappers.
+        plane_ctrl = plane_bank = plane_row = None
+        ctrl_col = bank_col = row_col = None
+    else:
+        plane = _hybrid_plane(packed, memory)
+        plane_ctrl, plane_bank, plane_row = plane
+        ctrl_col, bank_col, row_col = packed.np_columns(
+            _hybrid_layout_key(memory), plane
+        )
     page_shift = manager._page_shift
     page_mask = manager._page_mask
     pages_l = packed.pages(page_shift)
@@ -601,13 +702,20 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
                             block_penalty(page, arrival) if blocked or expiry else 0
                         )
                         frame = remap_get(page)
-                        if frame is None:
+                        if frame is None and not mapped:
                             ck = plane_ctrl[k]
                             bank = plane_bank[k]
                             row = plane_row[k]
                         else:
-                            translated = (frame << page_shift) | (
-                                addresses[k] & page_mask
+                            # An identity-mapped record decodes from its
+                            # original address — the plane value by
+                            # definition — so the mapped leg shares the
+                            # translated-decode path.
+                            translated = (
+                                addresses[k]
+                                if frame is None
+                                else (frame << page_shift)
+                                | (addresses[k] & page_mask)
                             )
                             if translated < fast_bytes:
                                 ck, bank, row = fast_decode(translated)
@@ -668,6 +776,12 @@ def _columnar_interval_replay(trace, packed, manager, throttle_cap_ps, flush_tra
                             translated = (frames << page_shift) | (
                                 addr_col[i:cut] & page_mask
                             )
+                    if translated is None and mapped:
+                        # No remap hit: identity decode of the slice's
+                        # original addresses equals the plane values, so
+                        # the mapped leg reuses the dense-decode path
+                        # below instead of trace-length plane columns.
+                        translated = addr_col[i:cut]
                     if translated is None:
                         ci = ctrl_col[i:cut]
                         bk = bank_col[i:cut]
@@ -829,9 +943,6 @@ def _replay_mempod(trace, packed, manager, throttle_cap_ps):
         return _replay_mempod_pure(trace, packed, manager, throttle_cap_ps)
     shift = manager._page_shift
     (page_col,) = packed.np_columns(("pages", shift), (packed.pages(shift),))
-    (pod_col,) = packed.np_columns(
-        (_mempod_pod_key(manager),), (_mempod_pod_plane(packed, manager),)
-    )
     record_batches = [pod.mea.record_batch for pod in manager.pods]
     if len(record_batches) == 1:
         only = record_batches[0]
@@ -840,7 +951,35 @@ def _replay_mempod(trace, packed, manager, throttle_cap_ps):
             if hi > lo:
                 only(page_col[lo:hi])
 
+    elif packed.mapped:
+        # Mapped traces compute pod ids per flushed slice with the same
+        # inlined pod-of-page formula as :func:`_mempod_pod_plane`, so
+        # no trace-length pod plane is ever materialised.
+        fast_pages = manager._fast_pages
+        ppr = manager._ppr
+        fast_chan = manager._fast_chan
+        fast_cpp = manager._fast_cpp
+        slow_chan = manager._slow_chan
+        slow_cpp = manager._slow_cpp
+        where = _np.where
+
+        def flush_trackers(lo, hi):
+            if hi > lo:
+                pages_slice = page_col[lo:hi]
+                pods_slice = where(
+                    pages_slice < fast_pages,
+                    ((pages_slice // ppr) % fast_chan) // fast_cpp,
+                    (((pages_slice - fast_pages) // ppr) % slow_chan) // slow_cpp,
+                )
+                for pod_id, record_batch in enumerate(record_batches):
+                    member = pages_slice[pods_slice == pod_id]
+                    if len(member):
+                        record_batch(member)
+
     else:
+        (pod_col,) = packed.np_columns(
+            (_mempod_pod_key(manager),), (_mempod_pod_plane(packed, manager),)
+        )
 
         def flush_trackers(lo, hi):
             if hi > lo:
@@ -1173,17 +1312,30 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
     bufs, flush_ctrl, flush_all, swap_sink = _swap_merged_buffers(ctrls, batch)
     buf_bk, buf_rw, buf_wr, buf_ar, buf_ac, buf_kd = bufs
     peak_bus = memory.peak_bus_free_ps
-    plane = _hybrid_plane(packed, memory)
-    plane_ctrl, plane_bank, plane_row = plane
-    ctrl_col, bank_col, row_col = packed.np_columns(_hybrid_layout_key(memory), plane)
+    mapped = packed.mapped
     shift = manager._page_shift
     pages = packed.pages(shift)
-    segments = _thm_segment_plane(packed, manager)
     fast_pages = manager.geometry.fast_pages
+    if mapped:
+        # Mapped traces keep every derived column per-chunk: segments
+        # compute from the page slice (the same ``segment_of`` formula
+        # as :func:`_thm_segment_plane`), the vector path decodes each
+        # slice densely from the address column, and the scalar trigger
+        # path decodes inline — no trace-length plane is materialised.
+        plane_ctrl = plane_bank = plane_row = None
+        ctrl_col = bank_col = row_col = None
+        segments = seg_col = None
+    else:
+        plane = _hybrid_plane(packed, memory)
+        plane_ctrl, plane_bank, plane_row = plane
+        ctrl_col, bank_col, row_col = packed.np_columns(
+            _hybrid_layout_key(memory), plane
+        )
+        segments = _thm_segment_plane(packed, manager)
+        (seg_col,) = packed.np_columns(
+            ("thm-segments", shift, fast_pages), (segments,)
+        )
     (page_col,) = packed.np_columns(("pages", shift), (pages,))
-    (seg_col,) = packed.np_columns(
-        ("thm-segments", shift, fast_pages), (segments,)
-    )
     (arr_col, write_col) = packed.np_columns(
         ("records",), (packed.arrivals, packed.is_writes)
     )
@@ -1292,7 +1444,12 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                 # Challenger iff the *effective* frame lives in slow
                 # memory — the same test the scalar path's frame branch
                 # makes (location_get default = identity).
-                trigger = access_batch(seg_col[i:end], pg, frames >= fast_pages)
+                seg = (
+                    where(pg < fast_pages, pg, (pg - fast_pages) % fast_pages)
+                    if mapped
+                    else seg_col[i:end]
+                )
+                trigger = access_batch(seg, pg, frames >= fast_pages)
                 cut = end if trigger is None else i + trigger
                 if cut > i:
                     # -- trigger-free slice [i, cut) --------------------
@@ -1330,6 +1487,14 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                         translated = (frames[:m] << page_shift) | (
                             addr_col[i:cut] & page_mask
                         )
+                    elif mapped:
+                        # No remap hit: identity decode of the original
+                        # addresses equals the plane values, so the
+                        # mapped leg shares the dense-decode path.
+                        translated = addr_col[i:cut]
+                    else:
+                        translated = None
+                    if translated is not None:
                         is_fast = translated < fast_bytes
                         off = where(is_fast, translated, translated - fast_bytes)
                         ci = where(
@@ -1380,7 +1545,11 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                 # -- the triggering record replays scalar ---------------
                 arrival = arrivals[i] + offset
                 page = pages[i]
-                segment = segments[i]
+                segment = (
+                    (page if page < fast_pages else (page - fast_pages) % fast_pages)
+                    if mapped
+                    else segments[i]
+                )
                 if blocked or expiry:
                     bsize = len(blocked)
                     penalty = block_penalty(page, arrival)
@@ -1411,12 +1580,19 @@ def _replay_thm(trace, packed, manager, throttle_cap_ps):
                             remap_np = patch_remap(remap_np, moved_a)
                             remap_np = patch_remap(remap_np, moved_b)
                             blocked_np = None
-                if frame is None:
+                if frame is None and not mapped:
                     ci = plane_ctrl[i]
                     bank = plane_bank[i]
                     row = plane_row[i]
                 else:
-                    translated = (frame << page_shift) | (addresses[i] & page_mask)
+                    # Identity-mapped records decode from the original
+                    # address — the plane value by definition — so the
+                    # mapped leg shares the translated-decode path.
+                    translated = (
+                        addresses[i]
+                        if frame is None
+                        else (frame << page_shift) | (addresses[i] & page_mask)
+                    )
                     if translated < fast_bytes:
                         ci, bank, row = fast_decode(translated)
                     else:

@@ -1,0 +1,354 @@
+"""Content-addressed columnar trace store.
+
+Trace synthesis is deterministic in ``(workload, scale, length, seed)``
+but costs real wall-clock (~305k records/s) and was, before this store,
+repeated by every sweep worker: ``SweepRunner`` processes share nothing,
+so a 7-mechanism comparison synthesised the same trace seven times.
+This module persists each synthesised trace once, in the v2 columnar
+format of :mod:`repro.trace.io`, under a SHA-256 key over exactly the
+inputs that determine its content — the trace spec plus the code-version
+token, so a synthesis change can never serve a stale trace.  Every later
+request memory-maps the stored planes in O(1) and streams them through
+the replay kernels with flat peak RSS (see
+:meth:`repro.trace.packed.PackedTrace.from_planes`).
+
+The same machinery replays *external* traces: ``repro trace import``
+converts tracehm-style ``cnt<TAB>addr<TAB>is_write`` TSV captures (and
+the v1/text formats) into columnar files that ``repro run --trace``
+replays directly, which is the on-ramp for real captured workloads at
+scales that never fit a Python record list.
+
+Environment knobs (all folded into — or provably excluded from — the
+result-cache key; see ``repro.analysis.cachekey``):
+
+* ``REPRO_TRACE_DIR``       — store root (default ``~/.cache/repro/traces``),
+* ``REPRO_NO_TRACE_STORE``  — set to 1 to bypass the store entirely,
+* ``REPRO_TRACE_WINDOW``    — streaming window in records (default
+  65,536; must be a positive multiple of the 128-record chunk).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..common.errors import ConfigError, TraceError
+from .io import (
+    CHUNK_RECORDS,
+    load_columnar_planes,
+    read_columnar_header,
+    save_columnar,
+)
+from .packed import PackedTrace
+from .record import PAGE_BYTES, Trace, TraceRecord
+
+TRACE_DIR_ENV_VAR = "REPRO_TRACE_DIR"
+NO_STORE_ENV_VAR = "REPRO_NO_TRACE_STORE"
+WINDOW_ENV_VAR = "REPRO_TRACE_WINDOW"
+
+#: default streaming window, in records (512 throttle chunks — ~2.5 MB
+#: of decode planes at 5 int64 columns, far below one trace-length list)
+DEFAULT_TRACE_WINDOW = 65_536
+
+#: default picoseconds per tracehm tick (1 ns — captures count in
+#: request ticks, not picoseconds)
+DEFAULT_TSV_TICK_PS = 1_000
+
+PathLike = Union[str, Path]
+
+
+def default_store_dir() -> Path:
+    """``REPRO_TRACE_DIR`` if set, else ``~/.cache/repro/traces``."""
+    override = os.environ.get(TRACE_DIR_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def store_enabled() -> bool:
+    """False when ``REPRO_NO_TRACE_STORE`` asks for in-memory traces.
+
+    Excluded from the result-cache key on purpose: the store serves
+    byte-identical replays of what synthesis would build (pinned by the
+    mapped-vs-in-memory differential suite), so the flag changes where
+    the trace lives, never what any cell computes.
+    """
+    return os.environ.get(NO_STORE_ENV_VAR, "").strip() in ("", "0")
+
+
+def resolve_trace_window() -> int:
+    """The streaming window from ``REPRO_TRACE_WINDOW`` (validated).
+
+    Excluded from the result-cache key on purpose: the window only
+    changes how many records are decoded per batch, and batch splitting
+    is result-identical (see
+    :meth:`~repro.trace.packed.PackedTrace.chunk_groups_streamed`);
+    the differential suite pins several windows against the in-memory
+    path.  Invalid values raise :class:`ConfigError` naming the
+    variable.
+    """
+    value = os.environ.get(WINDOW_ENV_VAR)
+    if value is None or not value.strip():
+        return DEFAULT_TRACE_WINDOW
+    try:
+        window = int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{WINDOW_ENV_VAR} must be an integer, got {value!r}"
+        ) from None
+    if window <= 0 or window % CHUNK_RECORDS:
+        raise ConfigError(
+            f"{WINDOW_ENV_VAR} must be a positive multiple of "
+            f"{CHUNK_RECORDS}, got {window}"
+        )
+    return window
+
+
+class _ColumnRecords:
+    """Record-tuple view over a mapped :class:`PackedTrace`'s columns.
+
+    Stands in for ``Trace.records`` on mapped traces: indexing,
+    slicing, and iteration produce the same ``(arrival, address,
+    is_write, core)`` tuples of Python ints an eager record list holds,
+    but nothing trace-length is ever materialised — iteration zips the
+    blockwise column iterators and slices convert only their span.
+    """
+
+    __slots__ = ("_packed",)
+
+    def __init__(self, packed: PackedTrace) -> None:
+        self._packed = packed
+
+    def __len__(self) -> int:
+        return self._packed.length
+
+    def __getitem__(self, index):
+        packed = self._packed
+        if isinstance(index, slice):
+            return list(
+                zip(
+                    packed.arrivals[index],
+                    packed.addresses[index],
+                    packed.is_writes[index],
+                    packed.cores[index],
+                )
+            )
+        if index < 0:
+            index += packed.length
+        if not 0 <= index < packed.length:
+            raise IndexError("trace record index out of range")
+        return (
+            packed.arrivals[index],
+            packed.addresses[index],
+            packed.is_writes[index],
+            packed.cores[index],
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        packed = self._packed
+        return zip(packed.arrivals, packed.addresses, packed.is_writes, packed.cores)
+
+
+class MappedTrace(Trace):
+    """A :class:`Trace` whose records live in a columnar trace file.
+
+    Behaves exactly like the eager trace it was written from — same
+    records, same metadata, same ``packed()`` columns — but the record
+    "list" is a :class:`_ColumnRecords` view over memory-mapped planes
+    and ``packed()`` returns the zero-copy mapped
+    :class:`PackedTrace`, so opening is O(1) and replay streams.
+    ``sliced()`` still works and degrades gracefully: the clone holds a
+    plain in-memory record list for its span.
+    """
+
+    @classmethod
+    def _wrap(cls, name: str, page_bytes: int, packed: PackedTrace) -> "MappedTrace":
+        trace = object.__new__(cls)
+        trace.name = name
+        trace.page_bytes = page_bytes
+        trace.records = _ColumnRecords(packed)
+        trace._packed_cache = packed
+        return trace
+
+
+def open_columnar(
+    path: PathLike, name: str = "", window: Optional[int] = None
+) -> Trace:
+    """Open a v2 columnar trace file for replay.
+
+    With numpy, returns a :class:`MappedTrace` streaming at ``window``
+    records (``REPRO_TRACE_WINDOW`` when not given); without numpy, the
+    pure twin reads the planes chunk-at-a-time into an ordinary eager
+    :class:`Trace` holding the identical records.  Validation already
+    happened in :func:`~repro.trace.io.read_columnar_header`; the
+    stored columns were validated when written, so neither leg re-runs
+    the O(n) record validation.
+    """
+    info, planes = load_columnar_planes(path)
+    trace_name = name or Path(path).stem
+    packed = PackedTrace.from_planes(
+        planes,
+        info.max_address,
+        info.page_shift,
+        window if window is not None else resolve_trace_window(),
+    )
+    if packed.mapped:
+        return MappedTrace._wrap(trace_name, info.page_bytes, packed)
+    records: List[TraceRecord] = list(
+        zip(planes["arrival"], planes["address"], planes["iswrite"], planes["core"])
+    )
+    trace = object.__new__(Trace)
+    trace.name = trace_name
+    trace.records = records
+    trace.page_bytes = info.page_bytes
+    return trace
+
+
+class TraceStore:
+    """One columnar trace file per content key.
+
+    Mirrors :class:`repro.runner.cache.ResultCache`: two-level fan-out
+    under the store root, atomic write-then-rename (concurrent sweep
+    workers synthesising the same trace race to write identical bytes),
+    corrupt or truncated files fail loudly at open (the header
+    validates the whole layout) rather than reading as garbage.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_dir()
+
+    def path_for(self, key: str) -> Path:
+        """Where entry ``key`` lives (two-level fan-out keeps dirs small)."""
+        return self.root / key[:2] / f"{key[2:]}.mpt"
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def save(self, key: str, trace: Trace) -> Path:
+        """Persist ``trace`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            save_columnar(trace, tmp)
+            os.replace(tmp, path)
+        finally:
+            # After a successful replace the temp name is gone; on any
+            # failure this reclaims it.  Either way nothing is swallowed.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return path
+
+    def open(
+        self, key: str, name: str = "", window: Optional[int] = None
+    ) -> Optional[Trace]:
+        """Open entry ``key``, or ``None`` when it was never stored.
+
+        A present-but-invalid file raises :class:`TraceError` — unlike
+        the result cache, a corrupt trace must never silently demote to
+        a rebuild that masks store bugs.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return open_columnar(path, name=name, window=window)
+
+
+def synth_trace_key(workload: str, scale: int, length: int, seed: int) -> str:
+    """Store key for a synthesised trace.
+
+    Exactly the inputs that determine the trace bytes: the spec tuple
+    plus the code-version token — the same token the result cache keys
+    on, so any edit to the synthesis code (or anything else in the
+    package) re-synthesises instead of serving a stale trace.
+    """
+    from ..runner.cache import code_version_token, fingerprint
+
+    return fingerprint(
+        {
+            "trace": "synth",
+            "workload": workload,
+            "scale": scale,
+            "length": length,
+            "seed": seed,
+            "code": code_version_token(),
+        }
+    )
+
+
+def import_tracehm_tsv(
+    path: PathLike,
+    name: str = "",
+    page_bytes: int = PAGE_BYTES,
+    tick_ps: int = DEFAULT_TSV_TICK_PS,
+) -> Trace:
+    """Parse a tracehm-style TSV capture into a :class:`Trace`.
+
+    One ``cnt<TAB>addr<TAB>is_write`` line per request: ``cnt`` is a
+    non-decreasing tick counter (scaled to picoseconds by ``tick_ps``),
+    ``addr`` a byte address in any Python integer literal base, and
+    ``is_write`` 0 or 1.  Captures carry no core id, so every record is
+    core 0.  Blank lines and ``#`` comments are skipped; anything
+    malformed raises :class:`TraceError` naming ``path:line``.
+    """
+    if tick_ps <= 0:
+        raise ConfigError(f"tick_ps must be positive, got {tick_ps}")
+    records: List[TraceRecord] = []
+    last_cnt = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise TraceError(
+                    f"{path}:{line_no}: expected 3 fields "
+                    f"(cnt, addr, is_write), got {len(parts)}"
+                )
+            try:
+                cnt = int(parts[0])
+                address = int(parts[1], 0)
+                is_write = int(parts[2])
+            except ValueError as exc:
+                raise TraceError(f"{path}:{line_no}: {exc}") from exc
+            if last_cnt is not None and cnt < last_cnt:
+                raise TraceError(
+                    f"{path}:{line_no}: cnt {cnt} precedes previous {last_cnt}"
+                )
+            if cnt < 0:
+                raise TraceError(f"{path}:{line_no}: negative cnt {cnt}")
+            if address < 0:
+                raise TraceError(f"{path}:{line_no}: negative address {address}")
+            if is_write not in (0, 1):
+                raise TraceError(
+                    f"{path}:{line_no}: is_write must be 0 or 1, got {is_write}"
+                )
+            records.append((cnt * tick_ps, address, is_write, 0))
+            last_cnt = cnt
+    return Trace(
+        name=name or Path(path).stem, records=records, page_bytes=page_bytes
+    )
+
+
+__all__ = [
+    "DEFAULT_TRACE_WINDOW",
+    "DEFAULT_TSV_TICK_PS",
+    "MappedTrace",
+    "NO_STORE_ENV_VAR",
+    "TRACE_DIR_ENV_VAR",
+    "TraceStore",
+    "WINDOW_ENV_VAR",
+    "default_store_dir",
+    "import_tracehm_tsv",
+    "open_columnar",
+    "read_columnar_header",
+    "resolve_trace_window",
+    "store_enabled",
+    "synth_trace_key",
+]

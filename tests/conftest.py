@@ -1,0 +1,24 @@
+"""Shared fixtures: keep the suite's trace store out of ~/.cache.
+
+``trace_for`` now serves traces through the on-disk columnar store by
+default, so without isolation the suite would read and write the
+developer's real ``~/.cache/repro/traces``.  One session-scoped
+directory keeps tests hermetic while still exercising the warm-reuse
+path (later tests open the files earlier tests wrote).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("trace-store")
+    previous = os.environ.get("REPRO_TRACE_DIR")
+    os.environ["REPRO_TRACE_DIR"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_TRACE_DIR", None)
+    else:
+        os.environ["REPRO_TRACE_DIR"] = previous

@@ -86,6 +86,63 @@ class TestEnergy:
         assert "uJ" in out
 
 
+class TestTrace:
+    def test_synth_info_and_replay(self, capsys, tmp_path):
+        out_file = tmp_path / "cactus.mpt"
+        out = run_cli(capsys, *SMALL, "trace", "synth", "cactus",
+                      "-o", str(out_file))
+        assert "8,000 records" in out
+        assert out_file.exists()
+        info = run_cli(capsys, "trace", "info", str(out_file))
+        assert "records:     8,000" in info
+        assert "page_bytes:  2048" in info
+        replay = run_cli(capsys, "run", "--trace", str(out_file),
+                         "--mechanisms", "tlm,mempod")
+        assert "mempod" in replay
+        assert "AMMAT" in replay
+
+    def test_synth_matches_trace_for(self, capsys, tmp_path):
+        # The CLI synth writes exactly what trace_for would serve.
+        from repro.experiments.common import ExperimentConfig, trace_for
+        from repro.trace.store import open_columnar
+
+        out_file = tmp_path / "t.mpt"
+        run_cli(capsys, *SMALL, "trace", "synth", "xalanc", "-o", str(out_file))
+        config = ExperimentConfig(scale=64, length=8000, seed=3)
+        expected = trace_for(config, "xalanc")
+        loaded = open_columnar(out_file)
+        assert list(loaded.records) == [tuple(r) for r in expected.records]
+
+    def test_import_export_roundtrip(self, capsys, tmp_path):
+        tsv = tmp_path / "cap.tsv"
+        tsv.write_text("0\t4096\t0\n3\t8192\t1\n9\t4096\t0\n")
+        mpt = tmp_path / "cap.mpt"
+        out = run_cli(capsys, "trace", "import", str(tsv), "-o", str(mpt),
+                      "--tick-ps", "500")
+        assert "3 records" in out
+        txt = tmp_path / "cap.txt"
+        run_cli(capsys, "trace", "export", str(mpt), "-o", str(txt))
+        body = txt.read_text()
+        assert "1500 0x2000 1 0" in body  # 3 ticks x 500 ps, write
+        bin_file = tmp_path / "cap.bin"
+        run_cli(capsys, "trace", "export", str(mpt), "-o", str(bin_file))
+        from repro.trace.io import load_binary
+
+        assert load_binary(bin_file).records == [
+            (0, 4096, 0, 0), (1500, 8192, 1, 0), (4500, 4096, 0, 0),
+        ]
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        weird = tmp_path / "trace.dat"
+        weird.write_text("")
+        with pytest.raises(SystemExit):
+            main(["trace", "import", str(weird), "-o", str(tmp_path / "o.mpt")])
+
+    def test_run_requires_workload_or_trace(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
 class TestRunnerFlags:
     def test_flags_accepted_after_the_subcommand(self, capsys):
         out = run_cli(

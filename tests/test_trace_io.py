@@ -4,10 +4,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.trace.io
 from repro.common.errors import TraceError
 from repro.geometry import scaled_geometry
 from repro.trace import Trace, build_trace, get_workload
-from repro.trace.io import dumps, load_binary, load_text, save_binary, save_text
+from repro.trace.io import (
+    dumps,
+    load_binary,
+    load_text,
+    loads,
+    save_binary,
+    save_text,
+)
 
 
 @pytest.fixture
@@ -56,6 +64,29 @@ class TestBinary:
         save_binary(sample_trace, path)
         assert dumps(sample_trace) == path.read_bytes()
 
+    def test_loads_roundtrips_dumps(self, sample_trace):
+        loaded = loads(dumps(sample_trace), name=sample_trace.name)
+        assert loaded.records == sample_trace.records
+        assert loaded.page_bytes == sample_trace.page_bytes
+        assert loaded.name == sample_trace.name
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(TraceError):
+            loads(b"NOTATRACE" + b"\0" * 64)
+
+    def test_pure_twin_bytes_identical(self, sample_trace, tmp_path, monkeypatch):
+        """The vectorised v1 codec and the pure loop agree byte for byte."""
+        numpy_bytes = dumps(sample_trace)
+        numpy_records = loads(numpy_bytes).records
+        monkeypatch.setattr(repro.trace.io, "_np", None)
+        clone = Trace(
+            name=sample_trace.name,
+            records=list(sample_trace.records),
+            page_bytes=sample_trace.page_bytes,
+        )
+        assert dumps(clone) == numpy_bytes
+        assert loads(numpy_bytes).records == numpy_records
+
 
 class TestText:
     def test_roundtrip(self, sample_trace, tmp_path):
@@ -82,6 +113,29 @@ class TestText:
         path.write_text("# mempod-trace v1 page_bytes=2048\nten 0x0 0 1\n")
         with pytest.raises(TraceError):
             load_text(path)
+
+    def test_out_of_range_is_write_names_line(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text(
+            "# mempod-trace v1 page_bytes=2048\n"
+            "0 0x0 0 0\n"
+            "5 0x40 2 0\n"
+        )
+        with pytest.raises(TraceError) as err:
+            load_text(path)
+        assert "w.txt:3" in str(err.value)
+        assert "is_write" in str(err.value)
+
+    def test_out_of_range_core_names_line(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text(
+            "# mempod-trace v1 page_bytes=2048\n"
+            "0 0x0 0 -2\n"
+        )
+        with pytest.raises(TraceError) as err:
+            load_text(path)
+        assert "c.txt:2" in str(err.value)
+        assert "core" in str(err.value)
 
 
 class TestTraceValidation:
