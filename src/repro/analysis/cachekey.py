@@ -83,8 +83,15 @@ ACCOUNTED_GLOBALS: Dict[str, str] = {
     ),
     "repro/mechanisms/registry.py::_REGISTRY": (
         "sim_cell() folds the resolved spec's fingerprint() into the "
-        "payload 'spec' field (SCHEMA_VERSION 4), so re-registering a "
+        "payload 'spec' field (SCHEMA_VERSION 5), so re-registering a "
         "name with different semantics addresses different cells"
+    ),
+    "repro/dram/devices.py::TIMINGS": (
+        "static name->DramTiming table, populated once at import from "
+        "frozen module constants and never mutated; tier descriptors "
+        "address timings by name and those names are part of the "
+        "spec fingerprint, while the timing values themselves are "
+        "code, covered by code_version_token()"
     ),
 }
 

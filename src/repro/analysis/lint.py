@@ -121,11 +121,15 @@ KERNEL_FINGERPRINT_FUNCTIONS: Tuple[str, ...] = (
     "repro/managers/cameo.py::CameoManager.handle",
     "repro/managers/static.py::NoMigrationManager.handle",
     "repro/managers/static.py::SingleLevelManager.handle",
-    # memory routing and the throttle's saturation probe
-    "repro/system/hybrid.py::HybridMemory.access",
-    "repro/system/hybrid.py::HybridMemory.peak_bus_free_ps",
-    "repro/system/hybrid.py::SingleLevelMemory.access",
-    "repro/system/hybrid.py::SingleLevelMemory.peak_bus_free_ps",
+    # memory routing and the throttle's saturation probe (TieredMemory
+    # serves every tier count; HybridMemory/SingleLevelMemory are thin
+    # constructors over it)
+    "repro/system/hybrid.py::TieredMemory.access",
+    "repro/system/hybrid.py::TieredMemory.tier_of",
+    "repro/system/hybrid.py::TieredMemory.locate",
+    "repro/system/hybrid.py::TieredMemory.peak_bus_free_ps",
+    # the spec-declared migration legality every swap passes through
+    "repro/managers/base.py::MemoryManager._check_swap_tiers",
     # controller access accounting the kernels enqueue into directly,
     # and the scheduling internals enqueue_batch / enqueue_run inline
     "repro/dram/controller.py::ChannelController.enqueue",

@@ -7,8 +7,9 @@ invariants the paper's design rests on:
 
 * **remap bijectivity and intra-pod closure** (Section 5) — forward and
   inverted tables compose to identity, no identity entries are stored,
-  and every migrated page stays inside its owning pod / THM segment /
-  CAMEO congruence group;
+  every migrated page stays inside its owning pod / THM segment /
+  CAMEO congruence group, and every cross-tier mapping is one of the
+  manager's declared legal ``swap_tiers`` pairs;
 * **MEA semantics** (Section 3) — at most K counters live, every
   counter within its saturating range, and evictions only ever produced
   by Karp decrement rounds;
@@ -98,13 +99,22 @@ class SimulationSanitizer:
     @staticmethod
     def _enumerate_channels(memory) -> List[Tuple[str, object, object]]:
         channels = []
-        if hasattr(memory, "fast") and hasattr(memory, "slow"):
+        tiers = getattr(memory, "tiers", None)
+        if tiers is not None:
+            devices = list(tiers)
+        elif hasattr(memory, "fast") and hasattr(memory, "slow"):
             devices = [memory.fast, memory.slow]
         else:
             devices = [memory.device]
-        for device in devices:
+        # Shadow labels must be unique; two tiers of the same technology
+        # would otherwise share one monotonicity snapshot.
+        names = [device.name for device in devices]
+        for tier_index, device in enumerate(devices):
+            prefix = device.name
+            if names.count(device.name) > 1:
+                prefix = f"tier{tier_index}:{device.name}"
             for idx, ctrl in enumerate(device.controllers):
-                channels.append((f"{device.name}/ch{idx}", ctrl, device.mapper))
+                channels.append((f"{prefix}/ch{idx}", ctrl, device.mapper))
         return channels
 
     # -- failure helper -----------------------------------------------------
@@ -141,6 +151,18 @@ class SimulationSanitizer:
                 "duplicated across a remap",
                 cycle_ps=end_ps,
             )
+        tiers = getattr(self.manager.memory, "tiers", None)
+        if tiers is not None:
+            per_tier = [tier.merged_stats().demand_count for tier in tiers]
+            if sum(per_tier) != merged.demand_count:
+                self._fail(
+                    "demand-conservation",
+                    f"per-tier demand counts {per_tier} sum to "
+                    f"{sum(per_tier)} but the system merged "
+                    f"{merged.demand_count}: a tier was skipped or "
+                    "double-counted in the merge",
+                    cycle_ps=end_ps,
+                )
         expected_ammat = to_ns(merged.demand_latency_ps) / demand if demand else 0.0
         if not math.isclose(result.ammat_ns, expected_ammat, rel_tol=1e-12, abs_tol=1e-9):
             self._fail(
@@ -205,6 +227,7 @@ class SimulationSanitizer:
                     "pod boundary (paper Section 5 forbids inter-pod swaps)",
                     pod=pod.pod_id, cycle_ps=cycle_ps,
                 )
+            self._check_tier_pair(page, frame, cycle_ps, pod=pod.pod_id)
 
     def _check_dict_remap(self, location: Dict[int, int], resident: Dict[int, int], cycle_ps: int) -> None:
         if len(location) != len(resident):
@@ -215,6 +238,7 @@ class SimulationSanitizer:
                 cycle_ps=cycle_ps,
             )
         closure = self._closure_fn()
+        page_of = self._remap_page_fn()
         for page, frame in location.items():
             if resident.get(frame) != page:
                 self._fail(
@@ -239,6 +263,40 @@ class SimulationSanitizer:
                         f"left its {name}",
                         cycle_ps=cycle_ps,
                     )
+            self._check_tier_pair(page_of(page), page_of(frame), cycle_ps)
+
+    def _check_tier_pair(
+        self, page_a: int, page_b: int, cycle_ps: int, pod: Optional[int] = None
+    ) -> None:
+        """Cross-tier mappings must be declared legal ``swap_tiers`` pairs.
+
+        Same-tier remaps are always legal (pod-internal and segment
+        swaps); a cross-tier entry is checked against the manager's
+        resolved ``swap_tiers`` — the spec-level migration legality the
+        N-tier grammar declares.
+        """
+        page_tier = self.geometry.page_tier
+        tier_a = page_tier(page_a)
+        tier_b = page_tier(page_b)
+        if tier_a == tier_b:
+            return
+        pair = (tier_a, tier_b) if tier_a < tier_b else (tier_b, tier_a)
+        allowed = getattr(self.manager, "swap_tiers", ((0, 1),))
+        if pair not in allowed:
+            self._fail(
+                "tier-closure",
+                f"page {page_a} (tier {tier_a}) mapped to frame {page_b} "
+                f"(tier {tier_b}), but {pair} is not a declared legal "
+                f"swap pair (legal cross-tier pairs: {tuple(allowed)})",
+                pod=pod, cycle_ps=cycle_ps,
+            )
+
+    def _remap_page_fn(self):
+        """Remap-key -> page converter (CAMEO keys its tables by line)."""
+        if hasattr(self.manager, "group_of"):  # CAMEO: line-granularity
+            lines_per_page = self.geometry.lines_per_page
+            return lambda line: line // lines_per_page
+        return lambda page: page
 
     def _closure_fn(self):
         """(label, group function) a dict-remap manager must respect."""

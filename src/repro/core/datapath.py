@@ -95,13 +95,15 @@ class MigrationEngine:
         #: directly (interval boundaries, ``finish``).
         self.swap_sink = None
         lines = geometry.lines_per_page
+        # Phase costs are sized for the migrating pair — tiers 0 and 1
+        # (the only migrating devices on single-pair systems; tiers
+        # beyond the second are served in place).
+        migrating = memory.tiers[:2]
         self._page_phase_ps = max(
-            self._phase_cost(memory.fast.timing, lines),
-            self._phase_cost(memory.slow.timing, lines),
+            self._phase_cost(device.timing, lines) for device in migrating
         )
         self._line_phase_ps = max(
-            self._phase_cost(memory.fast.timing, 1),
-            self._phase_cost(memory.slow.timing, 1),
+            self._phase_cost(device.timing, 1) for device in migrating
         )
 
     @staticmethod
@@ -117,14 +119,8 @@ class MigrationEngine:
         so every line of the page shares one (channel, bank, row) — the
         swap loops decode once per page side instead of once per line.
         """
-        memory = self.memory
-        fast_bytes = self.geometry.fast_bytes
-        if address < fast_bytes:
-            device = memory.fast
-        else:
-            device = memory.slow
-            address -= fast_bytes
-        channel, bank, row = device.mapper.fast_decode(address)
+        _, device, offset = self.memory.locate(address)
+        channel, bank, row = device.mapper.fast_decode(offset)
         return device.controllers[channel], bank, row
 
     @property

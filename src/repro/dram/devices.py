@@ -59,6 +59,51 @@ DDR4_1600_TIMING = DramTiming(
 HBM_OVERCLOCKED_TIMING = HBM_TIMING.scaled("HBM-4GHz", ghz(4.0))
 DDR4_2400_TIMING = DDR4_1600_TIMING.scaled("DDR4-2400", mhz(1200))
 
+# A MigrantStore-style phase-change far tier: DDR-class bus, but array
+# access an order of magnitude slower than DDR4-1600 (tRCD/tRAS cover
+# the long set/reset latency) and no refresh — PCM cells are
+# non-volatile, so trefi=0 legitimately disables the refresh machinery.
+PCM_TIMING = DramTiming(
+    name="PCM-800",
+    freq_hz=mhz(400),
+    bus_bits=64,
+    data_rate=2,
+    tcas=11,
+    trcd=55,
+    trp=55,
+    tras=140,
+    turnaround=8,
+    trefi=0,
+    trfc=0,
+)
+
+#: registry of timings addressable by name from tier descriptors
+TIMINGS = {
+    timing.name: timing
+    for timing in (
+        HBM_TIMING,
+        DDR4_1600_TIMING,
+        HBM_OVERCLOCKED_TIMING,
+        DDR4_2400_TIMING,
+        PCM_TIMING,
+    )
+}
+
+
+def get_timing(name: str) -> DramTiming:
+    """Look up a registered :class:`DramTiming` by name."""
+    try:
+        return TIMINGS[name]
+    except KeyError:
+        known = ", ".join(sorted(TIMINGS))
+        raise KeyError(f"unknown timing {name!r}; registered: {known}") from None
+
+
+def timing_names() -> "tuple[str, ...]":
+    """Registered timing names, sorted."""
+    return tuple(sorted(TIMINGS))
+
+
 ROW_BYTES = 8 * 1024
 
 

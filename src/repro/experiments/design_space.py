@@ -190,8 +190,11 @@ def run_fig7(
 
 # -- mechanism design space (beyond the paper) -------------------------------
 
-# The paper's four migrating mechanisms plus the registered hybrids.
-DESIGN_MECHANISMS = ("mempod", "hma", "thm", "cameo", "hma-mea", "thm-pods")
+# The paper's four migrating mechanisms plus the registered hybrids
+# and the three-tier MemPod point (HBM + half-DDR4 + PCM far tier).
+DESIGN_MECHANISMS = (
+    "mempod", "hma", "thm", "cameo", "hma-mea", "thm-pods", "mempod-3tier",
+)
 
 
 @dataclass

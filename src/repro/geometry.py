@@ -26,7 +26,8 @@ per-pod page slots in O(1) arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 from .common.config import require_multiple, require_power_of_two, require_positive_int
 from .common.errors import AddressError, ConfigError
@@ -38,7 +39,17 @@ ROW_BYTES_DEFAULT = 8 * 1024
 
 @dataclass(frozen=True)
 class MemoryGeometry:
-    """Capacities and topology of the two-level machine."""
+    """Capacities and topology of the tiered machine.
+
+    The first two tiers keep their historical ``fast_*``/``slow_*``
+    field names (the paper's two-level machine); tiers beyond the
+    second are declared in ``extra_tiers`` as ``(bytes, channels,
+    timing_name)`` rows.  The N-entry tier table —
+    :meth:`tier_bytes`/:meth:`tier_channels`/:meth:`tier_offset` over
+    ``tier_count`` tiers — is derived from all three, so two-level
+    geometries (``extra_tiers=()``) are bit-for-bit what they always
+    were.
+    """
 
     fast_bytes: int
     slow_bytes: int
@@ -49,6 +60,8 @@ class MemoryGeometry:
     pods: int
     page_bytes: int = PAGE_BYTES_DEFAULT
     row_bytes: int = ROW_BYTES_DEFAULT
+    #: tiers past the fast/slow pair: (bytes, channels, timing name) each
+    extra_tiers: Tuple[Tuple[int, int, str], ...] = field(default=())
 
     def __post_init__(self) -> None:
         for name in (
@@ -80,6 +93,27 @@ class MemoryGeometry:
                          self.row_bytes * self.slow_channels)
         if not is_power_of_two(self.fast_bytes) or not is_power_of_two(self.slow_bytes):
             raise ConfigError("capacities must be powers of two for bit-sliced mapping")
+        # Normalise extra_tiers so list-of-lists input still hashes and
+        # serialises as the canonical tuple-of-tuples form.
+        object.__setattr__(
+            self, "extra_tiers", tuple(tuple(row) for row in self.extra_tiers)
+        )
+        for index, row in enumerate(self.extra_tiers):
+            name = f"extra_tiers[{index}]"
+            if len(row) != 3:
+                raise ConfigError(f"{name} must be (bytes, channels, timing_name)")
+            tier_bytes, tier_channels, timing_name = row
+            require_positive_int(f"{name}.bytes", tier_bytes)
+            require_positive_int(f"{name}.channels", tier_channels)
+            require_power_of_two(f"{name}.channels", tier_channels)
+            if not is_power_of_two(tier_bytes):
+                raise ConfigError(
+                    f"{name}.bytes must be a power of two for bit-sliced mapping"
+                )
+            require_multiple(f"{name}.bytes", tier_bytes, "row stripe",
+                             self.row_bytes * tier_channels)
+            if not isinstance(timing_name, str) or not timing_name:
+                raise ConfigError(f"{name}.timing_name must be a non-empty string")
 
     # -- derived counts --------------------------------------------------
 
@@ -96,12 +130,81 @@ class MemoryGeometry:
     @property
     def total_pages(self) -> int:
         """Page slots across the whole flat address space."""
-        return self.fast_pages + self.slow_pages
+        return self.total_bytes // self.page_bytes
 
     @property
     def total_bytes(self) -> int:
-        """Flat physical address space size."""
-        return self.fast_bytes + self.slow_bytes
+        """Flat physical address space size (every tier)."""
+        return (
+            self.fast_bytes
+            + self.slow_bytes
+            + sum(row[0] for row in self.extra_tiers)
+        )
+
+    # -- the N-entry tier table --------------------------------------------
+    #
+    # Tier 0 is the fast device, tier 1 the slow device, tiers >= 2 the
+    # extra_tiers rows, each owning a contiguous span of the flat space
+    # in that order.
+
+    @property
+    def tier_count(self) -> int:
+        """Number of tiers in the flat space (>= 2)."""
+        return 2 + len(self.extra_tiers)
+
+    def tier_bytes(self, tier: int) -> int:
+        """Capacity of tier ``tier``."""
+        if tier == 0:
+            return self.fast_bytes
+        if tier == 1:
+            return self.slow_bytes
+        try:
+            return self.extra_tiers[tier - 2][0]
+        except IndexError:
+            raise AddressError(f"tier {tier} out of range") from None
+
+    def tier_channels(self, tier: int) -> int:
+        """Channel count of tier ``tier``."""
+        if tier == 0:
+            return self.fast_channels
+        if tier == 1:
+            return self.slow_channels
+        try:
+            return self.extra_tiers[tier - 2][1]
+        except IndexError:
+            raise AddressError(f"tier {tier} out of range") from None
+
+    def tier_offset(self, tier: int) -> int:
+        """First flat byte address of tier ``tier``."""
+        if not 0 <= tier < self.tier_count:
+            raise AddressError(f"tier {tier} out of range")
+        offset = 0
+        for index in range(tier):
+            offset += self.tier_bytes(index)
+        return offset
+
+    def tier_pages(self, tier: int) -> int:
+        """Page slots in tier ``tier``."""
+        return self.tier_bytes(tier) // self.page_bytes
+
+    def page_tier(self, page: int) -> int:
+        """Index of the tier whose span contains flat page ``page``."""
+        self._check_page(page)
+        end_pages = 0
+        for tier in range(self.tier_count):
+            end_pages += self.tier_pages(tier)
+            if page < end_pages:
+                return tier
+        raise AddressError(f"page {page} outside flat space")  # pragma: no cover
+
+    @property
+    def managed_pages(self) -> int:
+        """Pages in the migrating fast/slow pair (tiers 0 and 1).
+
+        Tiers beyond the second are served in place by default; pod
+        partitioning and the eviction scans cover only this range.
+        """
+        return self.fast_pages + self.slow_pages
 
     @property
     def pages_per_row(self) -> int:

@@ -127,13 +127,27 @@ def _single_layout_key(device) -> tuple:
     return ("single", _mapper_key(device.mapper))
 
 
+def _tier_table(memory):
+    """Per-tier decode rows: ``(start, end, ctrl_base, mapper)``.
+
+    One row per tier in address order, with flat controller indices
+    (tier 0's channels first) — the table the decode planes index
+    instead of re-deriving the old single fast/slow threshold.
+    """
+    table = []
+    start = 0
+    base = 0
+    for device, end in zip(memory.tiers, memory._tier_ends):
+        table.append((start, end, base, device.mapper))
+        start = end
+        base += device.channels
+    return table
+
+
 def _hybrid_layout_key(memory) -> tuple:
-    return (
-        "hybrid",
-        memory.geometry.fast_bytes,
-        memory.fast.channels,
-        _mapper_key(memory.fast.mapper),
-        _mapper_key(memory.slow.mapper),
+    return ("hybrid",) + tuple(
+        (end - start, base, _mapper_key(mapper))
+        for start, end, base, mapper in _tier_table(memory)
     )
 
 
@@ -162,51 +176,53 @@ def _single_plane(packed, device):
 
 
 def _hybrid_plane(packed, memory):
-    """(controller, bank, row) columns for a two-device hybrid memory.
+    """(controller, bank, row) columns for a tiered memory.
 
-    Controller indices are flat across both devices — fast channels
+    Controller indices are flat across every tier — tier 0's channels
     first — matching the ``enqueues`` list the replay loops build.
+    Tiers are indexed through the :func:`_tier_table` rows rather than
+    a single fast/slow threshold; on two-tier systems the chained
+    ``where`` collapses to exactly the old ``is_fast`` select.
     """
-    fast_mapper = memory.fast.mapper
-    slow_mapper = memory.slow.mapper
-    fast_bytes = memory.geometry.fast_bytes
-    fast_channels = memory.fast.channels
+    table = _tier_table(memory)
     key = _hybrid_layout_key(memory)
     plane = packed.planes.get(key)
     if plane is None:
         addresses = packed.np_addresses()
         if addresses is not None:
-            is_fast = addresses < fast_bytes
-            off = _np.where(is_fast, addresses, addresses - fast_bytes)
-            banks = _np.where(
-                is_fast,
-                (off >> fast_mapper._row_shift) & fast_mapper._bank_mask,
-                (off >> slow_mapper._row_shift) & slow_mapper._bank_mask,
-            ).tolist()
-            ctrls = _np.where(
-                is_fast,
-                (off >> fast_mapper._bank_shift) & fast_mapper._chan_mask,
-                fast_channels
-                + ((off >> slow_mapper._bank_shift) & slow_mapper._chan_mask),
-            ).tolist()
-            rows = _np.where(
-                is_fast,
-                off >> fast_mapper._chan_shift,
-                off >> slow_mapper._chan_shift,
-            ).tolist()
+            ctrl_col = bank_col = row_col = None
+            # Walk the table last tier first: the final tier is the
+            # unconditional branch (the old else-arm), earlier tiers
+            # overlay it under their `address < end` condition.
+            for start, end, base, mapper in reversed(table):
+                off = addresses - start
+                tier_ctrl = base + ((off >> mapper._bank_shift) & mapper._chan_mask)
+                tier_bank = (off >> mapper._row_shift) & mapper._bank_mask
+                tier_row = off >> mapper._chan_shift
+                if ctrl_col is None:
+                    ctrl_col, bank_col, row_col = tier_ctrl, tier_bank, tier_row
+                else:
+                    here = addresses < end
+                    ctrl_col = _np.where(here, tier_ctrl, ctrl_col)
+                    bank_col = _np.where(here, tier_bank, bank_col)
+                    row_col = _np.where(here, tier_row, row_col)
+            ctrls = ctrl_col.tolist()
+            banks = bank_col.tolist()
+            rows = row_col.tolist()
         else:
-            fast_decode = fast_mapper.fast_decode
-            slow_decode = slow_mapper.fast_decode
+            last = table[-1]
             ctrls, banks, rows = [], [], []
             for address in packed.addresses:
-                if address < fast_bytes:
-                    channel, bank, row = fast_decode(address)
-                else:
-                    channel, bank, row = slow_decode(address - fast_bytes)
-                    channel += fast_channels
-                ctrls.append(channel)
+                entry = last
+                for row in table:
+                    if address < row[1]:
+                        entry = row
+                        break
+                start, _, base, mapper = entry
+                channel, bank, row_id = mapper.fast_decode(address - start)
+                ctrls.append(base + channel)
                 banks.append(bank)
-                rows.append(row)
+                rows.append(row_id)
         plane = (ctrls, banks, rows)
         packed.planes[key] = plane
     return plane
@@ -279,7 +295,7 @@ def _thm_segment_plane(packed, manager):
 
 def _hybrid_controllers(memory):
     """Flat controller list matching :func:`_hybrid_plane` indices."""
-    return list(memory.fast.controllers) + list(memory.slow.controllers)
+    return list(memory._controllers)
 
 
 # -- streaming decode (mapped traces) --------------------------------------
@@ -312,29 +328,26 @@ def _single_decode_np(device):
 
 
 def _hybrid_decode_np(memory):
-    """Windowed (ctrl, bank, row) decoder for a hybrid memory — the
-    same formulas as :func:`_hybrid_plane`'s numpy leg (flat controller
-    indices, fast channels first)."""
-    fm = memory.fast.mapper
-    sm = memory.slow.mapper
-    fast_bytes = memory.geometry.fast_bytes
-    fast_channels = memory.fast.channels
+    """Windowed (ctrl, bank, row) decoder for a tiered memory — the
+    same tier-table walk as :func:`_hybrid_plane`'s numpy leg (flat
+    controller indices, tier 0's channels first)."""
+    table = _tier_table(memory)
     where = _np.where
 
     def decode(addresses):
-        is_fast = addresses < fast_bytes
-        off = where(is_fast, addresses, addresses - fast_bytes)
-        ctrls = where(
-            is_fast,
-            (off >> fm._bank_shift) & fm._chan_mask,
-            fast_channels + ((off >> sm._bank_shift) & sm._chan_mask),
-        )
-        banks = where(
-            is_fast,
-            (off >> fm._row_shift) & fm._bank_mask,
-            (off >> sm._row_shift) & sm._bank_mask,
-        )
-        rows = where(is_fast, off >> fm._chan_shift, off >> sm._chan_shift)
+        ctrls = banks = rows = None
+        for start, end, base, mapper in reversed(table):
+            off = addresses - start
+            tier_ctrl = base + ((off >> mapper._bank_shift) & mapper._chan_mask)
+            tier_bank = (off >> mapper._row_shift) & mapper._bank_mask
+            tier_row = off >> mapper._chan_shift
+            if ctrls is None:
+                ctrls, banks, rows = tier_ctrl, tier_bank, tier_row
+            else:
+                here = addresses < end
+                ctrls = where(here, tier_ctrl, ctrls)
+                banks = where(here, tier_bank, banks)
+                rows = where(here, tier_row, rows)
         return ctrls, banks, rows
 
     return decode
@@ -1890,6 +1903,9 @@ def select_kernel(manager) -> "tuple":
     decision:
 
     * ``specialised:<kind>`` — the named fast loop will run;
+    * ``fallback:multi-tier`` — the memory has more than two tiers;
+      every specialised loop was written against the fast/slow pair,
+      so N-tier systems replay on the reference loop;
     * ``fallback:metadata-cache`` — per-record cache state (MemPod/HMA/
       THM metadata caches) makes hoisting a wash and is not inlined;
     * ``fallback:predictor`` — the CAMEO line-location predictor;
@@ -1900,6 +1916,9 @@ def select_kernel(manager) -> "tuple":
     * ``fallback:novel-shape:<trigger>x<flexibility>`` — a shape no
       specialised loop exists for.
     """
+    tiers = getattr(manager.memory, "tiers", None)
+    if tiers is not None and len(tiers) > 2:
+        return None, "fallback:multi-tier"
     manager_type = type(manager)
     trigger = getattr(manager, "trigger", "none")
     flexibility = getattr(manager, "flexibility", "none")

@@ -21,6 +21,7 @@ import heapq
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, ClassVar, Dict, Iterable, List, Optional, Tuple
 
+from ..common.errors import MigrationError
 from ..core.datapath import MigrationEngine, MigrationStats
 from ..geometry import MemoryGeometry
 
@@ -41,6 +42,13 @@ class MemoryManager(ABC):
     #: (trigger, flexibility) pair, not on the concrete class.
     trigger: ClassVar[str] = "none"
     flexibility: ClassVar[str] = "none"
+
+    #: Tier index pairs whose pages this mechanism may swap, as ordered
+    #: (low, high) pairs.  Same-tier exchanges are always legal — a
+    #: composed remap routinely exchanges two frames of one tier when
+    #: evicting.  ``build_manager`` overwrites this with the spec's
+    #: declared legality; the default is the classic fast<->slow pair.
+    swap_tiers: Tuple[Tuple[int, int], ...] = ((0, 1),)
 
     def __init__(self, memory: "HybridMemory", geometry: MemoryGeometry) -> None:
         self.memory = memory
@@ -111,7 +119,30 @@ class MemoryManager(ABC):
     def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
         """Move the data of one scheduled swap; managers override to also
         update their remap state and block the in-flight pages."""
+        self._check_swap_tiers(frame_a, frame_b)
         return self.engine.swap_pages(frame_a, frame_b, issue_ps, pod=pod)
+
+    def _check_swap_tiers(self, frame_a: int, frame_b: int) -> "tuple[int, int]":
+        """Enforce the spec's migration legality on one frame pair.
+
+        Returns the ``(source, destination)`` tier indices of the two
+        frames; a cross-tier pair outside :attr:`swap_tiers` raises
+        :class:`~repro.common.errors.MigrationError` (the sanitizer
+        additionally proves the remap tables stay closed over the legal
+        pairs).
+        """
+        geometry = self.geometry
+        tier_a = geometry.page_tier(frame_a)
+        tier_b = geometry.page_tier(frame_b)
+        if tier_a != tier_b:
+            pair = (tier_a, tier_b) if tier_a < tier_b else (tier_b, tier_a)
+            if pair not in self.swap_tiers:
+                raise MigrationError(
+                    f"{self.name}: frames {frame_a} (tier {tier_a}) and "
+                    f"{frame_b} (tier {tier_b}) form an illegal swap pair; "
+                    f"legal cross-tier pairs: {self.swap_tiers}"
+                )
+        return tier_a, tier_b
 
     # -- blocking ----------------------------------------------------------
 
@@ -276,6 +307,7 @@ class ComposedManager(MemoryManager):
 
     def _apply_swap(self, frame_a: int, frame_b: int, pod: int, issue_ps: int) -> int:
         """Apply one paced copy: remap, move data, block the copy window."""
+        self._check_swap_tiers(frame_a, frame_b)
         page_a, page_b = self._swap_remap(frame_a, frame_b, pod)
         completion = self.engine.swap_pages(frame_a, frame_b, issue_ps, pod=pod)
         self._block_page(page_a, completion)

@@ -16,6 +16,7 @@ hybrids live in :mod:`repro.mechanisms.hybrids`.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Tuple
 
 from ..common.errors import ConfigError
@@ -26,6 +27,7 @@ from ..dram.devices import (
     DDR4_2400_TIMING,
     HBM_OVERCLOCKED_TIMING,
     HBM_TIMING,
+    get_timing,
 )
 from ..geometry import MemoryGeometry
 from ..managers import (
@@ -36,8 +38,13 @@ from ..managers import (
     SingleLevelManager,
     ThmManager,
 )
-from ..system.hybrid import HybridMemory, SingleLevelMemory
-from .spec import DatapathSpec, MechanismSpec
+from ..system.hybrid import (
+    HybridMemory,
+    SingleLevelMemory,
+    TieredMemory,
+    build_device,
+)
+from .spec import DatapathSpec, MechanismSpec, TierSpec
 
 #: The paper's five mechanisms plus the two single-technology bounds —
 #: the set every figure sweeps and the differential suite proves
@@ -101,6 +108,66 @@ def mechanism_names() -> Tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def _build_descriptor_memory(
+    spec: MechanismSpec,
+    geometry: MemoryGeometry,
+    window: int,
+) -> "tuple[TieredMemory, MemoryGeometry]":
+    """Construct the memory system for a tuple ``memory_kind`` descriptor.
+
+    Each :class:`~repro.mechanisms.spec.TierSpec` row draws capacity
+    and channels from the geometry column it names and divides the
+    bytes by its ``capacity_div``, so the descriptor *carves* the
+    experiment's flat space rather than growing it — a 3-tier spec
+    addresses exactly the bytes (and replays exactly the traces) of
+    its 2-tier baseline.  Returns the memory plus the tier-shaped
+    geometry the manager should be built against (``total_bytes`` is
+    preserved whenever the divisors tile the source columns).
+    """
+    tiers = spec.memory_kind
+    assert isinstance(tiers, tuple)
+    plan = []
+    for index, tier in enumerate(tiers):
+        if tier.source == "fast":
+            source_bytes, channels = geometry.fast_bytes, geometry.fast_channels
+        else:
+            source_bytes, channels = geometry.slow_bytes, geometry.slow_channels
+        tier_bytes = source_bytes // tier.capacity_div
+        if tier_bytes == 0:
+            raise ConfigError(
+                f"mechanism {spec.name!r}: memory_kind[{index}] is a "
+                f"zero-byte tier ({tier.source} column has {source_bytes} "
+                f"bytes; capacity_div={tier.capacity_div})"
+            )
+        plan.append((tier_bytes, channels, get_timing(tier.timing)))
+
+    if len(plan) == 1:
+        _, channels, timing = plan[0]
+        memory = SingleLevelMemory(
+            geometry, timing=timing, channels=channels, window=window
+        )
+        return memory, geometry
+
+    tier_geometry = replace(
+        geometry,
+        fast_bytes=plan[0][0],
+        fast_channels=plan[0][1],
+        slow_bytes=plan[1][0],
+        slow_channels=plan[1][1],
+        extra_tiers=tuple(
+            (tier_bytes, channels, timing.name)
+            for tier_bytes, channels, timing in plan[2:]
+        ),
+    )
+    devices = [
+        build_device(timing.name, timing, tier_bytes, channels,
+                     tier_geometry, window)
+        for tier_bytes, channels, timing in plan
+    ]
+    spans = [tier_bytes for tier_bytes, _, _ in plan]
+    return TieredMemory(tier_geometry, devices, spans), tier_geometry
+
+
 def build_manager(
     kind: str,
     geometry: MemoryGeometry,
@@ -111,9 +178,11 @@ def build_manager(
     """Construct the memory system and manager for mechanism ``kind``.
 
     ``future_tech`` selects the Section 6.3.4 parts (HBM at 4 GHz,
-    DDR4-2400) and applies the spec's future-tech parameter overrides;
-    extra ``params`` are passed to the manager factory after being
-    checked against the spec's ``valid_params`` (unknown kwargs raise
+    DDR4-2400) and applies the spec's future-tech parameter overrides
+    (tuple-descriptor specs name their timings explicitly, so only the
+    parameter overrides apply to them); extra ``params`` are passed to
+    the manager factory after being checked against the spec's
+    ``valid_params`` (unknown kwargs raise
     :class:`~repro.common.errors.ConfigError` naming the legal ones).
     """
     spec = get_mechanism(kind)
@@ -124,7 +193,12 @@ def build_manager(
     fast_timing = HBM_OVERCLOCKED_TIMING if future_tech else HBM_TIMING
     slow_timing = DDR4_2400_TIMING if future_tech else DDR4_1600_TIMING
 
-    if spec.memory_kind == "fast-only":
+    manager_geometry = geometry
+    if isinstance(spec.memory_kind, tuple):
+        memory, manager_geometry = _build_descriptor_memory(
+            spec, geometry, window
+        )
+    elif spec.memory_kind == "fast-only":
         memory = SingleLevelMemory(geometry, timing=fast_timing, window=window)
     elif spec.memory_kind == "slow-only":
         memory = SingleLevelMemory(
@@ -136,7 +210,9 @@ def build_manager(
             geometry, fast_timing=fast_timing, slow_timing=slow_timing,
             window=window,
         )
-    return spec.factory(memory, geometry, **params)
+    manager = spec.factory(memory, manager_geometry, **params)
+    manager.swap_tiers = spec.resolved_swap_tiers()
+    return manager
 
 
 # -- canonical specs ---------------------------------------------------------
@@ -236,6 +312,8 @@ register_mechanism("ddr-only", MechanismSpec(
     memory_kind="slow-only",
 ))
 
-# Novel hybrid specs register themselves on import; keep this after the
-# canonical registrations so hybrids may compose canonical pieces.
+# Novel hybrid and tiered specs register themselves on import; keep
+# this after the canonical registrations so they may compose canonical
+# pieces.
 from . import hybrids as _hybrids  # noqa: E402,F401
+from . import tiered as _tiered  # noqa: E402,F401

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from importlib import import_module
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from ..common.errors import ConfigError
+from ..common.units import is_power_of_two
+from ..dram.devices import TIMINGS
 
 #: When migrations happen: at fixed interval boundaries (MemPod), at OS
 #: epoch boundaries (HMA), when a counter crosses a threshold (THM), on
@@ -45,8 +47,77 @@ FLEXIBILITIES = ("none", "single", "pod", "global", "segment", "group")
 #: modelled hardware), a direct one-entry-per-fast-slot table, or none.
 REMAP_POLICIES = ("none", "per-pod", "page-table", "direct")
 
-#: Which memory system the factory is handed.
+#: Which memory system the factory is handed, as a shorthand name.
+#: ``memory_kind`` may instead be a tuple of :class:`TierSpec` rows
+#: describing an N-tier system explicitly; the shorthands are the
+#: legacy two-/one-tier spellings kept for the canonical specs.
 MEMORY_KINDS = ("hybrid", "fast-only", "slow-only")
+
+#: Which geometry column a tier descriptor draws capacity/channels from.
+TIER_SOURCES = ("fast", "slow")
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier of an N-tier ``memory_kind`` descriptor.
+
+    Specs are geometry-independent (the same mechanism runs on the
+    paper-scale and Python-scale machines), so a tier does not name an
+    absolute capacity: it draws ``source``'s bytes and channels from
+    whatever geometry the experiment supplies and divides the bytes by
+    ``capacity_div``.  The descriptor for the paper's own machine is
+    ``(TierSpec("HBM", "fast"), TierSpec("DDR4-1600", "slow"))``; a
+    third tier carves the slow column, e.g. ``TierSpec("PCM-800",
+    "slow", 2)`` for a far tier taking half the slow capacity.
+    """
+
+    timing: str
+    source: str = "slow"
+    capacity_div: int = 1
+
+
+def validate_tiers(
+    mechanism: str, tiers: "Tuple[TierSpec, ...]"
+) -> None:
+    """Validate an N-tier descriptor; raises ``ConfigError``.
+
+    Checks each row's timing against the registered
+    :data:`~repro.dram.devices.TIMINGS`, the capacity source, and the
+    divisor — a non-power-of-two or non-positive ``capacity_div`` is
+    the spec-level shape of a zero-byte tier (the byte-level check runs
+    at build time, once a geometry is known).
+    """
+    if not tiers:
+        raise ConfigError(
+            f"mechanism {mechanism!r}: memory_kind tier descriptor is empty"
+        )
+    for index, tier in enumerate(tiers):
+        name = f"memory_kind[{index}]"
+        if not isinstance(tier, TierSpec):
+            raise ConfigError(
+                f"mechanism {mechanism!r}: {name} is not a TierSpec"
+            )
+        if tier.timing not in TIMINGS:
+            known = ", ".join(sorted(TIMINGS))
+            raise ConfigError(
+                f"mechanism {mechanism!r}: {name}.timing {tier.timing!r} "
+                f"is not a registered timing (known: {known})"
+            )
+        if tier.source not in TIER_SOURCES:
+            raise ConfigError(
+                f"mechanism {mechanism!r}: {name}.source {tier.source!r} "
+                f"is not one of {TIER_SOURCES}"
+            )
+        if (
+            not isinstance(tier.capacity_div, int)
+            or tier.capacity_div < 1
+            or not is_power_of_two(tier.capacity_div)
+        ):
+            raise ConfigError(
+                f"mechanism {mechanism!r}: {name}.capacity_div "
+                f"{tier.capacity_div!r} must be a positive power of two "
+                "(larger divisors make the tier zero-byte)"
+            )
 
 
 @dataclass(frozen=True)
@@ -85,10 +156,18 @@ class MechanismSpec:
     tracker: Optional[str]
     factory: Callable[..., Any]
     valid_params: Tuple[str, ...] = ()
-    memory_kind: str = "hybrid"
+    memory_kind: Union[str, Tuple[TierSpec, ...]] = "hybrid"
     datapath: DatapathSpec = DatapathSpec()
     #: parameter defaults applied (if not given) under ``future_tech``
     future_tech_overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: tier index pairs whose pages may swap; ``None`` derives the
+    #: default — ``((0, 1),)`` on multi-tier systems, ``()`` on
+    #: single-level ones.  Same-tier swaps are always legal (a composed
+    #: remap walks through same-tier frame exchanges when evicting).
+    swap_tiers: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: inclusive numeric bounds checked by :meth:`validate_params`,
+    #: as ``(param_name, low, high)`` rows
+    param_ranges: Tuple[Tuple[str, float, float], ...] = ()
 
     # -- validation --------------------------------------------------------
 
@@ -116,11 +195,21 @@ class MechanismSpec:
                 f"mechanism {self.name!r}: remap_policy {self.remap_policy!r} "
                 f"is not one of {REMAP_POLICIES}"
             )
-        if self.memory_kind not in MEMORY_KINDS:
+        if isinstance(self.memory_kind, str):
+            if self.memory_kind not in MEMORY_KINDS:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: memory_kind {self.memory_kind!r} "
+                    f"is not one of {MEMORY_KINDS} (or a tuple of TierSpec)"
+                )
+        elif isinstance(self.memory_kind, tuple):
+            validate_tiers(self.name, self.memory_kind)
+        else:
             raise ConfigError(
-                f"mechanism {self.name!r}: memory_kind {self.memory_kind!r} "
-                f"is not one of {MEMORY_KINDS}"
+                f"mechanism {self.name!r}: memory_kind must be one of "
+                f"{MEMORY_KINDS} or a tuple of TierSpec"
             )
+        self._validate_swap_tiers()
+        self._validate_param_ranges()
         if not callable(self.factory):
             raise ConfigError(f"mechanism {self.name!r}: factory is not callable")
         shape = manager_shape(self.factory)
@@ -139,8 +228,61 @@ class MechanismSpec:
                 )
         self.resolve_tracker()
 
+    # -- tier topology -----------------------------------------------------
+
+    def tier_count(self) -> int:
+        """Number of memory tiers this spec's system exposes."""
+        if isinstance(self.memory_kind, tuple):
+            return len(self.memory_kind)
+        return 2 if self.memory_kind == "hybrid" else 1
+
+    def resolved_swap_tiers(self) -> Tuple[Tuple[int, int], ...]:
+        """The legal migrating tier pairs, with the default applied."""
+        if self.swap_tiers is not None:
+            return self.swap_tiers
+        return ((0, 1),) if self.tier_count() >= 2 else ()
+
+    def _validate_swap_tiers(self) -> None:
+        if self.swap_tiers is None:
+            return
+        tiers = self.tier_count()
+        for pair in self.swap_tiers:
+            if (
+                len(pair) != 2
+                or not all(isinstance(t, int) for t in pair)
+                or not 0 <= pair[0] < pair[1]
+            ):
+                raise ConfigError(
+                    f"mechanism {self.name!r}: swap_tiers entry {pair!r} must "
+                    "be an ordered (low, high) pair of distinct tier indices"
+                )
+            if pair[1] >= tiers:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: swap_tiers pair {pair!r} is "
+                    f"illegal — the system has only {tiers} tier(s)"
+                )
+
+    def _validate_param_ranges(self) -> None:
+        for row in self.param_ranges:
+            if len(row) != 3:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: param_ranges entry {row!r} "
+                    "must be (name, low, high)"
+                )
+            key, low, high = row
+            if key not in self.valid_params:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: param_ranges names {key!r}, "
+                    "which is not a valid parameter"
+                )
+            if not low <= high:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: param_ranges for {key!r} has "
+                    f"low {low!r} > high {high!r}"
+                )
+
     def validate_params(self, params: Dict[str, Any]) -> None:
-        """Reject unknown constructor kwargs with a naming error."""
+        """Reject unknown or out-of-range constructor kwargs by name."""
         unknown = sorted(set(params) - set(self.valid_params))
         if unknown:
             accepted = (
@@ -152,6 +294,13 @@ class MechanismSpec:
                 f"mechanism {self.name!r} got unknown parameter(s) "
                 f"{unknown}; valid parameters: {accepted}"
             )
+        for key, low, high in self.param_ranges:
+            if key in params and not low <= params[key] <= high:
+                raise ConfigError(
+                    f"mechanism {self.name!r}: parameter {key!r}="
+                    f"{params[key]!r} outside the legal range "
+                    f"[{low}, {high}]"
+                )
 
     def resolve_tracker(self) -> Optional[Callable[..., Any]]:
         """Import and return the activity-tracker factory (or ``None``).
@@ -187,13 +336,26 @@ class MechanismSpec:
     def fingerprint(self) -> Dict[str, Any]:
         """Deterministic JSON-able identity for the sweep cache."""
         datapath = self.datapath
+        if isinstance(self.memory_kind, tuple):
+            memory_kind: Any = [
+                {
+                    "timing": tier.timing,
+                    "source": tier.source,
+                    "capacity_div": tier.capacity_div,
+                }
+                for tier in self.memory_kind
+            ]
+        else:
+            memory_kind = self.memory_kind
         return {
             "name": self.name,
             "trigger": self.trigger,
             "flexibility": self.flexibility,
             "remap_policy": self.remap_policy,
             "tracker": self.tracker,
-            "memory_kind": self.memory_kind,
+            "memory_kind": memory_kind,
+            "swap_tiers": [list(pair) for pair in self.resolved_swap_tiers()],
+            "param_ranges": sorted(list(row) for row in self.param_ranges),
             "datapath": {
                 "batched_swaps": datapath.batched_swaps,
                 "sort_penalty": datapath.sort_penalty,

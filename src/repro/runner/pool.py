@@ -36,8 +36,9 @@ NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
 
 #: fingerprint schema version — bump when the payload layout changes
 #: (v2: cells carry the replay-kernel choice; v3: the sanitize flag;
-#: v4: the mechanism-spec fingerprint)
-SCHEMA_VERSION = 4
+#: v4: the mechanism-spec fingerprint; v5: spec fingerprints carry the
+#: tier descriptor, swap legality, and parameter ranges)
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)

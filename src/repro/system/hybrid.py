@@ -1,11 +1,16 @@
-"""The flat-address-space hybrid memory.
+"""The flat-address-space tiered memory.
 
-:class:`HybridMemory` glues the two :class:`MemoryDevice` instances into
-one flat physical space: addresses below ``fast_bytes`` hit the
-die-stacked device, the rest hit the off-chip device, exactly as the
-paper's Figure 4 machine exposes both to software.  It also provides
-single-device construction for the HBM-only and DDR-only baseline
-configurations of Figures 8 and 10.
+:class:`TieredMemory` glues an ordered list of :class:`MemoryDevice`
+instances into one flat physical space: each tier owns a contiguous
+span of the address range, in declaration order, and a single
+:meth:`~TieredMemory.tier_of` lookup replaces the old scattered
+``address < fast_bytes`` threshold math.  The paper's Figure 4 machine
+is the two-tier case — :class:`HybridMemory` — with the die-stacked
+device as tier 0 and the off-chip device as tier 1;
+:class:`SingleLevelMemory` is the one-tier case used by the HBM-only
+and DDR-only baseline configurations of Figures 8 and 10.  Three-tier
+machines (HBM + DDR + a slow far tier, per MigrantStore/HM-Keeper) are
+built by handing :class:`TieredMemory` a third device.
 
 Everything is built from a :class:`MemoryGeometry`, so the paper-scale
 and Python-scale machines share all code.
@@ -13,7 +18,8 @@ and Python-scale machines share all code.
 
 from __future__ import annotations
 
-from typing import Optional
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
 
 from ..common.errors import AddressError
 from ..dram.controller import ControllerStats, ServicePathStats
@@ -44,35 +50,108 @@ def build_device(
     )
 
 
-class HybridMemory:
-    """Fast + slow devices behind one flat physical address space."""
+class TieredMemory:
+    """An ordered list of devices behind one flat physical address space.
+
+    ``spans`` gives the addressable bytes each tier contributes to the
+    flat space; it defaults to each device's capacity but may be
+    smaller (:class:`SingleLevelMemory` pads its device to a power of
+    two and addresses only ``total_bytes`` of it).  Tier 0 is the
+    fastest/nearest tier by convention; migration mechanisms move pages
+    toward lower tier indices.
+    """
 
     def __init__(
         self,
         geometry: MemoryGeometry,
-        fast_timing: DramTiming = HBM_TIMING,
-        slow_timing: DramTiming = DDR4_1600_TIMING,
-        window: int = 8,
+        tiers: Sequence[MemoryDevice],
+        spans: Optional[Sequence[int]] = None,
     ) -> None:
+        if not tiers:
+            raise AddressError("a TieredMemory needs at least one tier")
         self.geometry = geometry
-        self.fast = build_device(
-            fast_timing.name, fast_timing, geometry.fast_bytes, geometry.fast_channels,
-            geometry, window,
-        )
-        self.slow = build_device(
-            slow_timing.name, slow_timing, geometry.slow_bytes, geometry.slow_channels,
-            geometry, window,
-        )
+        self.tiers: List[MemoryDevice] = list(tiers)
+        if spans is None:
+            spans = [device.capacity_bytes for device in self.tiers]
+        if len(spans) != len(self.tiers):
+            raise AddressError(
+                f"{len(self.tiers)} tiers but {len(spans)} address spans"
+            )
+        # Cumulative exclusive end offsets; _tier_ends[i] is the first
+        # flat address past tier i, so bisect_right finds the tier.
+        ends: List[int] = []
+        total = 0
+        for span in spans:
+            total += span
+            ends.append(total)
+        self._tier_spans: Tuple[int, ...] = tuple(spans)
+        self._tier_ends: Tuple[int, ...] = tuple(ends)
+        self._limit = total
         # Dirty-channel tracking for peak_bus_free_ps: every controller
-        # (fast channels first, matching the kernels' flat indices)
+        # (tier 0's channels first, matching the kernels' flat indices)
         # reports into one shared set whenever it may advance its bus,
         # so the throttle probe scans only touched channels.
-        self._controllers = list(self.fast.controllers) + list(self.slow.controllers)
+        self._controllers = [
+            ctrl for device in self.tiers for ctrl in device.controllers
+        ]
         self._dirty_channels: set = set()
         self._peak_bus_ps = 0
         for key, ctrl in enumerate(self._controllers):
             ctrl._dirty_sink = self._dirty_channels
             ctrl._dirty_key = key
+
+    # -- tier addressing ------------------------------------------------------
+
+    def tier_of(self, address: int) -> int:
+        """Index of the tier whose span contains flat ``address``."""
+        index = bisect_right(self._tier_ends, address)
+        if index == len(self.tiers):
+            raise AddressError(
+                f"address {address:#x} outside the {self._limit:#x}-byte flat space"
+            )
+        return index
+
+    def tier_offset(self, index: int) -> int:
+        """First flat address of tier ``index``."""
+        return self._tier_ends[index] - self._tier_spans[index]
+
+    def locate(self, address: int) -> "tuple[int, MemoryDevice, int]":
+        """Resolve a flat address to ``(tier index, device, local offset)``."""
+        index = self.tier_of(address)
+        return index, self.tiers[index], address - self.tier_offset(index)
+
+    def is_fast_address(self, address: int) -> bool:
+        """True when the flat address maps to tier 0."""
+        return address < self._tier_ends[0]
+
+    # -- two-/one-tier aliases ------------------------------------------------
+    # Properties, so `hasattr(memory, "fast")` is False on single-level
+    # systems and `hasattr(memory, "device")` is False on multi-tier
+    # ones — exactly the discrimination the stats/energy/sanitizer
+    # layers relied on when these were plain attributes.
+
+    @property
+    def fast(self) -> MemoryDevice:
+        """Tier 0 of a multi-tier system (the die-stacked device)."""
+        if len(self.tiers) < 2:
+            raise AttributeError("single-level memory has no fast/slow split")
+        return self.tiers[0]
+
+    @property
+    def slow(self) -> MemoryDevice:
+        """Tier 1 of a multi-tier system (the near off-chip device)."""
+        if len(self.tiers) < 2:
+            raise AttributeError("single-level memory has no fast/slow split")
+        return self.tiers[1]
+
+    @property
+    def device(self) -> MemoryDevice:
+        """The sole device of a single-level system."""
+        if len(self.tiers) != 1:
+            raise AttributeError("multi-tier memory has no single device")
+        return self.tiers[0]
+
+    # -- request path ---------------------------------------------------------
 
     def access(
         self,
@@ -83,23 +162,23 @@ class HybridMemory:
         account_ps: Optional[int] = None,
     ) -> None:
         """Route one 64 B transaction by flat physical address."""
-        fast_bytes = self.geometry.fast_bytes
-        if address < fast_bytes:
-            self.fast.access(address, is_write, arrival_ps, kind, account_ps)
-        elif address < fast_bytes + self.geometry.slow_bytes:
-            self.slow.access(address - fast_bytes, is_write, arrival_ps, kind, account_ps)
-        else:
+        ends = self._tier_ends
+        index = 0 if address < ends[0] else bisect_right(ends, address)
+        if index == len(ends):
             raise AddressError(
-                f"address {address:#x} outside the {self.geometry.total_bytes:#x}-byte flat space"
+                f"address {address:#x} outside the {self._limit:#x}-byte flat space"
             )
-
-    def is_fast_address(self, address: int) -> bool:
-        """True when the flat address maps to the fast device."""
-        return address < self.geometry.fast_bytes
+        self.tiers[index].access(
+            address - (ends[index] - self._tier_spans[index]),
+            is_write,
+            arrival_ps,
+            kind,
+            account_ps,
+        )
 
     def flush(self) -> int:
         """Drain every controller; return the latest completion seen."""
-        return max(self.fast.flush(), self.slow.flush())
+        return max(device.flush() for device in self.tiers)
 
     def flush_page(self, page: int) -> int:
         """Drain the one channel that serves flat ``page``.
@@ -107,18 +186,14 @@ class HybridMemory:
         Used by migration datapaths that need a page swap's completion
         time without draining the whole machine.
         """
-        geometry = self.geometry
-        address = page * geometry.page_bytes
-        if address < geometry.fast_bytes:
-            channel, _, _ = self.fast.mapper.fast_decode(address)
-            return self.fast.flush_channel(channel)
-        channel, _, _ = self.slow.mapper.fast_decode(address - geometry.fast_bytes)
-        return self.slow.flush_channel(channel)
+        _, device, offset = self.locate(page * self.geometry.page_bytes)
+        channel, _, _ = device.mapper.fast_decode(offset)
+        return device.flush_channel(channel)
 
     def block_until(self, ps: int) -> None:
-        """Stall both devices until ``ps`` (HMA's OS/sort penalty)."""
-        self.fast.block_until(ps)
-        self.slow.block_until(ps)
+        """Stall every device until ``ps`` (HMA's OS/sort penalty)."""
+        for device in self.tiers:
+            device.block_until(ps)
 
     def peak_bus_free_ps(self) -> int:
         """The furthest-ahead bus timestamp across every channel.
@@ -145,27 +220,55 @@ class HybridMemory:
         return peak
 
     def merged_stats(self) -> ControllerStats:
-        """Controller statistics summed over both devices."""
+        """Controller statistics summed over every tier."""
         merged = ControllerStats()
-        for device in (self.fast, self.slow):
+        for device in self.tiers:
             merged.merge(device.merged_stats())
         return merged
 
     def merged_service_paths(self) -> ServicePathStats:
-        """Batched-path service counters summed over both devices."""
+        """Batched-path service counters summed over every tier."""
         merged = ServicePathStats()
-        for device in (self.fast, self.slow):
+        for device in self.tiers:
             merged.merge(device.merged_service_paths())
         return merged
 
 
-class SingleLevelMemory:
+class HybridMemory(TieredMemory):
+    """Fast + slow devices behind one flat physical address space.
+
+    The paper's two-tier machine, kept as a thin constructor over
+    :class:`TieredMemory` so existing call sites and pickled cells
+    survive the N-tier generalisation.
+    """
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        fast_timing: DramTiming = HBM_TIMING,
+        slow_timing: DramTiming = DDR4_1600_TIMING,
+        window: int = 8,
+    ) -> None:
+        fast = build_device(
+            fast_timing.name, fast_timing, geometry.fast_bytes, geometry.fast_channels,
+            geometry, window,
+        )
+        slow = build_device(
+            slow_timing.name, slow_timing, geometry.slow_bytes, geometry.slow_channels,
+            geometry, window,
+        )
+        super().__init__(
+            geometry, [fast, slow], [geometry.fast_bytes, geometry.slow_bytes]
+        )
+
+
+class SingleLevelMemory(TieredMemory):
     """A one-technology memory covering the whole flat space.
 
     Models the paper's 9 GB HBM-only upper bound (and the DDR-only
     lower bound of Figure 10).  Capacity is padded up to the next power
     of two above the flat space so the bit-sliced mapper applies; the
-    padding is never addressed.
+    padding is never addressed (the tier span stays ``total_bytes``).
     """
 
     def __init__(
@@ -175,11 +278,10 @@ class SingleLevelMemory:
         channels: Optional[int] = None,
         window: int = 8,
     ) -> None:
-        self.geometry = geometry
         capacity = 1
         while capacity < geometry.total_bytes:
             capacity <<= 1
-        self.device = build_device(
+        device = build_device(
             f"{timing.name}-only",
             timing,
             capacity,
@@ -187,56 +289,4 @@ class SingleLevelMemory:
             geometry,
             window,
         )
-        # Same dirty-channel peak tracking as HybridMemory.
-        self._dirty_channels: set = set()
-        self._peak_bus_ps = 0
-        for key, ctrl in enumerate(self.device.controllers):
-            ctrl._dirty_sink = self._dirty_channels
-            ctrl._dirty_key = key
-
-    def access(
-        self,
-        address: int,
-        is_write: bool,
-        arrival_ps: int,
-        kind: int = DEMAND,
-        account_ps: Optional[int] = None,
-    ) -> None:
-        """Route one 64 B transaction (flat address = device offset)."""
-        if address >= self.geometry.total_bytes:
-            raise AddressError(
-                f"address {address:#x} outside the {self.geometry.total_bytes:#x}-byte flat space"
-            )
-        self.device.access(address, is_write, arrival_ps, kind, account_ps)
-
-    def flush(self) -> int:
-        """Drain every controller; return the latest completion seen."""
-        return self.device.flush()
-
-    def peak_bus_free_ps(self) -> int:
-        """Furthest-ahead bus timestamp (CPU-throttle input).
-
-        Incremental over the shared dirty-channel set, exactly as
-        :meth:`HybridMemory.peak_bus_free_ps`.
-        """
-        peak = self._peak_bus_ps
-        dirty = self._dirty_channels
-        if dirty:
-            controllers = self.device.controllers
-            for key in dirty:
-                ctrl = controllers[key]
-                ctrl._dirty = False
-                bus_free = ctrl.bus_free_ps
-                if bus_free > peak:
-                    peak = bus_free
-            dirty.clear()
-            self._peak_bus_ps = peak
-        return peak
-
-    def merged_stats(self) -> ControllerStats:
-        """Controller statistics over the single device."""
-        return self.device.merged_stats()
-
-    def merged_service_paths(self) -> ServicePathStats:
-        """Batched-path service counters over the single device."""
-        return self.device.merged_service_paths()
+        super().__init__(geometry, [device], [geometry.total_bytes])

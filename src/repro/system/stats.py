@@ -86,7 +86,28 @@ def collect_result(manager, trace, end_ps: int) -> SimulationResult:
     )
 
     memory = manager.memory
-    if hasattr(memory, "fast") and hasattr(memory, "slow"):
+    tiers = getattr(memory, "tiers", None)
+    if tiers is not None and len(tiers) >= 2:
+        # Tier 0 is the fast column and tier 1 the slow column, so the
+        # two-tier fields stay bit-identical; systems with more tiers
+        # additionally report a per-tier breakdown in ``extras``.
+        result.row_hit_rate_fast = tiers[0].row_buffer_hit_rate()
+        result.row_hit_rate_slow = tiers[1].row_buffer_hit_rate()
+        fast_served = tiers[0].merged_stats().served
+        if merged.served:
+            result.fast_service_fraction = fast_served / merged.served
+        if len(tiers) > 2:
+            for index, tier in enumerate(tiers):
+                result.extras[f"tier{index}_row_hit_rate"] = (
+                    tier.row_buffer_hit_rate()
+                )
+                if merged.served:
+                    result.extras[f"tier{index}_service_fraction"] = (
+                        tier.merged_stats().served / merged.served
+                    )
+    elif tiers is not None:
+        result.row_hit_rate_fast = tiers[0].row_buffer_hit_rate()
+    elif hasattr(memory, "fast") and hasattr(memory, "slow"):
         result.row_hit_rate_fast = memory.fast.row_buffer_hit_rate()
         result.row_hit_rate_slow = memory.slow.row_buffer_hit_rate()
         fast_served = memory.fast.merged_stats().served
